@@ -1,0 +1,63 @@
+// Fig. 5 — covers of the target node v: the paper finds 32 LUT1 (z_t path),
+// 24 LUT2 and 8 LUT3 (feedback path, split by the alpha byte shift).
+//
+// We print the measured cover census from the design ground truth: how many
+// LUTs contain v per path, and how the feedback covers split into shape
+// classes (our analog of the LUT2/LUT3 split).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "fpga/system.h"
+
+namespace {
+
+using namespace sbm;
+
+const fpga::System& system_instance() {
+  static const fpga::System sys = fpga::build_system();
+  return sys;
+}
+
+void print_fig5_reproduction() {
+  const fpga::System& sys = system_instance();
+  const auto truth = sys.target_luts();
+  std::set<size_t> z_luts, fb_luts;
+  std::map<std::string, int> fb_shapes;
+  for (const auto& t : truth) {
+    if (t.on_z_path) {
+      z_luts.insert(t.lut_index);
+    } else if (fb_luts.insert(t.lut_index).second) {
+      fb_shapes[sys.mapped.luts[t.lut_index].function.to_string()]++;
+    }
+  }
+  std::printf("=== Fig. 5: covers of the target node v ===\n");
+  std::printf("  z_t path  (paper: 32 x LUT1): %zu LUTs containing v\n", z_luts.size());
+  std::printf("  feedback  (paper: 24 x LUT2 + 8 x LUT3): %zu LUTs, by shape class:\n",
+              fb_luts.size());
+  for (const auto& [shape, count] : fb_shapes) {
+    std::printf("    %2d x table %s\n", count, shape.c_str());
+  }
+  std::printf("  (the shape split mirrors the paper's LUT2/LUT3 heterogeneity caused by\n");
+  std::printf("   the alpha byte shift: bits 0..7 / 8..23 / 24..31 map differently)\n\n");
+}
+
+void BM_TargetLutCensus(benchmark::State& state) {
+  const fpga::System& sys = system_instance();
+  for (auto _ : state) {
+    auto truth = sys.target_luts();
+    benchmark::DoNotOptimize(truth);
+  }
+}
+BENCHMARK(BM_TargetLutCensus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig5_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

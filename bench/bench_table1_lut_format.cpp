@@ -1,0 +1,81 @@
+// Table I — the 7-series LUT bitstream format (xi permutation).
+//
+// Prints a verification of the transcribed mapping and benchmarks the
+// pack/unpack primitives that FINDLUT leans on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bitstream/lut_coding.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace sbm;
+using namespace sbm::bitstream;
+
+void print_table1_reproduction() {
+  std::printf("=== Table I: Xilinx 7-series LUT bitstream format ===\n");
+  const auto& xi = xi_table();
+  // The paper's first and last rows, F[i] -> B[j].
+  struct Row {
+    unsigned f;
+    unsigned paper_b;
+  };
+  const Row rows[] = {{0, 63}, {1, 47}, {7, 44},  {8, 15},  {31, 24},
+                      {32, 55}, {40, 7}, {55, 32}, {62, 0},  {63, 16}};
+  bool all_ok = true;
+  for (const Row& r : rows) {
+    const bool ok = xi[r.f] == r.paper_b;
+    all_ok = all_ok && ok;
+    std::printf("  F[%2u] -> B[%2u]   (paper: B[%2u])  %s\n", r.f, xi[r.f], r.paper_b,
+                ok ? "OK" : "MISMATCH");
+  }
+  // Bijectivity check over the full table.
+  u64 seen = 0;
+  for (const u8 b : xi) seen |= u64{1} << b;
+  std::printf("  bijective over 64 positions: %s\n", seen == ~u64{0} ? "yes" : "NO");
+  std::printf("  sub-vector orders: SLICEL = B1,B2,B3,B4  SLICEM = B4,B3,B1,B2\n");
+  std::printf("  overall: %s\n\n", all_ok && seen == ~u64{0} ? "REPRODUCED" : "MISMATCH");
+}
+
+void BM_XiPermute(benchmark::State& state) {
+  Rng rng(1);
+  u64 v = rng.next_u64();
+  for (auto _ : state) {
+    v = xi_permute(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_XiPermute);
+
+void BM_EncodeLut(benchmark::State& state) {
+  Rng rng(2);
+  const u64 init = rng.next_u64();
+  const auto order = device_chunk_orders()[0];
+  for (auto _ : state) {
+    auto chunks = encode_lut(init, order);
+    benchmark::DoNotOptimize(chunks);
+  }
+}
+BENCHMARK(BM_EncodeLut);
+
+void BM_DecodeLut(benchmark::State& state) {
+  Rng rng(3);
+  const auto order = device_chunk_orders()[1];
+  const auto chunks = encode_lut(rng.next_u64(), order);
+  for (auto _ : state) {
+    u64 init = decode_lut(chunks, order);
+    benchmark::DoNotOptimize(init);
+  }
+}
+BENCHMARK(BM_DecodeLut);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

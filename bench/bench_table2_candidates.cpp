@@ -1,0 +1,91 @@
+// Table II — number of target-LUT candidates in the unprotected bitstream.
+//
+// Regenerates the paper's table: for each candidate Boolean function f1..f21
+// the number n of FINDLUT matches, side by side with the paper's counts.
+// Absolute numbers differ (our mapper is not Vivado and our control encoding
+// differs), but the structure must hold: one z-path candidate family carries
+// the 32 true LUT1 positions among extra false positives, and the verified
+// cover population totals 32 per path.  Also runs the node-reuse ablation
+// called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "attack/scan.h"
+#include "fpga/system.h"
+
+namespace {
+
+using namespace sbm;
+using namespace sbm::attack;
+
+const fpga::System& system_instance() {
+  static const fpga::System sys = fpga::build_system();
+  return sys;
+}
+
+void print_table2_reproduction() {
+  const fpga::System& sys = system_instance();
+  const auto truth = sys.target_luts();
+  std::set<size_t> truth_positions;
+  for (const auto& t : truth) truth_positions.insert(t.byte_index);
+
+  // The paper's n column for f1..f21.
+  const int paper_n[21] = {12, 81, 52, 6, 1, 12, 1, 24, 3, 0, 3, 0, 0, 0, 0, 0, 0, 0, 8, 0, 2};
+
+  std::printf("=== Table II: target-LUT candidates in the unprotected bitstream ===\n");
+  std::printf("%-6s %-36s %9s %9s %s\n", "cand", "function", "paper n", "ours n", "true hits");
+  const auto counts = scan_family(sys.golden.bytes, logic::table2_family());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    size_t true_hits = 0;
+    for (const auto& m : counts[i].matches) true_hits += truth_positions.count(m.byte_index);
+    std::printf("%-6s %-36s %9d %9zu %zu\n", counts[i].candidate.name.c_str(),
+                counts[i].candidate.formula.c_str(), paper_n[i], counts[i].count(), true_hits);
+  }
+
+  std::printf("\nextended family (our control encoding), non-zero entries:\n");
+  for (const auto& fc : scan_family(sys.golden.bytes, attack_family())) {
+    if (fc.count() == 0) continue;
+    bool in_table2 = false;
+    for (const auto& t2 : logic::table2_family()) in_table2 |= t2.function == fc.candidate.function;
+    if (in_table2) continue;
+    size_t true_hits = 0;
+    for (const auto& m : fc.matches) true_hits += truth_positions.count(m.byte_index);
+    std::printf("%-10s %-32s n=%zu true=%zu\n", fc.candidate.name.c_str(),
+                fc.candidate.formula.c_str(), fc.count(), true_hits);
+  }
+
+  // Ablation: node reuse off.
+  fpga::SystemOptions no_reuse;
+  no_reuse.mapper.allow_node_reuse = false;
+  const fpga::System ablated = fpga::build_system(no_reuse);
+  size_t n_with = 0, n_without = 0;
+  for (const auto& fc : scan_family(sys.golden.bytes, attack_family())) n_with += fc.count();
+  for (const auto& fc : scan_family(ablated.golden.bytes, attack_family())) {
+    n_without += fc.count();
+  }
+  std::printf("\nablation (Section II-B node reuse): total family matches with reuse = %zu, "
+              "without = %zu\n\n",
+              n_with, n_without);
+}
+
+void BM_ScanTable2Family(benchmark::State& state) {
+  const fpga::System& sys = system_instance();
+  for (auto _ : state) {
+    auto counts = scan_family(sys.golden.bytes, logic::table2_family());
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sys.golden.bytes.size()) * 21);
+}
+BENCHMARK(BM_ScanTable2Family)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

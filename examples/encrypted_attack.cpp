@@ -1,0 +1,109 @@
+// Attacking an encrypted, HMAC-authenticated bitstream (paper Fig. 1 and
+// Section IV-A).
+//
+// The device only accepts AES-256 encrypted images whose HMAC verifies.
+// Following the paper's attack model, the encryption key K_E has leaked
+// through a side channel ([16]-[18]); the authentication key K_A travels
+// INSIDE the encrypted image, so the attacker can decrypt, read K_A, patch
+// the LUTs, recompute the HMAC and re-encrypt.  The cryptography is real
+// (AES-256-CTR + HMAC-SHA-256); only the side-channel step is assumed.
+#include <cstdio>
+
+#include "attack/pipeline.h"
+#include "bitstream/secure.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+#include "snow3g/f8f9.h"
+
+using namespace sbm;
+
+namespace {
+
+/// Oracle that talks to a device which only boots encrypted images.
+class EncryptedDeviceOracle : public attack::Oracle {
+ public:
+  EncryptedDeviceOracle(const fpga::System& sys, const crypto::Aes256Key& ke,
+                        const bitstream::AuthKey& ka, const snow3g::Iv& iv)
+      : sys_(sys), ke_(ke), ka_(ka), iv_(iv) {}
+
+  std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override {
+    ++runs_;
+    const auto envelope = bitstream::protect_bitstream(bitstream, ke_, ka_, {});
+    fpga::Device dev = sys_.make_device();
+    if (!dev.configure_encrypted(envelope, ke_)) return std::nullopt;
+    return dev.keystream(iv_, words);
+  }
+
+ private:
+  const fpga::System& sys_;
+  crypto::Aes256Key ke_;
+  bitstream::AuthKey ka_;
+  snow3g::Iv iv_;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(0x5eC2e7);
+  fpga::SystemOptions opt;
+  opt.key = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+  const fpga::System sys = fpga::build_system(opt);
+
+  // The vendor protects the bitstream.
+  crypto::Aes256Key ke{};
+  bitstream::AuthKey ka{};
+  for (auto& b : ke) b = static_cast<u8>(rng.next_u64());
+  for (auto& b : ka) b = static_cast<u8>(rng.next_u64());
+  const auto envelope = bitstream::protect_bitstream(sys.golden.bytes, ke, ka, {});
+  std::printf("fielded product: encrypted+authenticated bitstream, %zu bytes\n",
+              envelope.size());
+
+  // Step 1 (assumed, per the attack model): K_E leaks via a side channel.
+  std::printf("step 1: K_E recovered by side-channel analysis (simulated disclosure)\n");
+
+  // Step 2: decrypt, verify, and read K_A out of the image.
+  const auto stolen = bitstream::unprotect_bitstream(envelope, ke);
+  if (!stolen.ok) {
+    std::printf("unprotect failed: %s\n", stolen.error.c_str());
+    return 1;
+  }
+  std::printf("step 2: image decrypted; K_A extracted from inside the envelope: %s...\n",
+              hex_bytes(std::span<const u8>(stolen.k_a.data(), 4)).c_str());
+
+  // Step 3: run the full attack; every probe is re-MACed and re-encrypted.
+  const snow3g::Iv iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+  EncryptedDeviceOracle oracle(sys, ke, stolen.k_a, iv);
+  attack::PipelineConfig cfg;
+  cfg.iv = iv;
+  attack::Attack attack(oracle, stolen.plain, cfg);
+  const attack::AttackResult res = attack.execute();
+  if (!res.success) {
+    std::printf("attack failed: %s\n", res.failure.c_str());
+    return 1;
+  }
+  std::printf("step 3: key recovered through the encrypted envelope: %s %s %s %s\n",
+              hex32(res.secrets.key[0]).c_str(), hex32(res.secrets.key[1]).c_str(),
+              hex32(res.secrets.key[2]).c_str(), hex32(res.secrets.key[3]).c_str());
+  std::printf("        matches the planted key: %s (%zu oracle runs)\n",
+              res.secrets.key == opt.key ? "YES" : "NO", res.oracle_runs);
+
+  // Step 4: decrypt previously captured UEA2 traffic with the stolen key.
+  snow3g::Key128 ck{};
+  for (int w = 0; w < 4; ++w) {
+    store_be32(ck.data() + 4 * (3 - w), opt.key[static_cast<size_t>(w)]);
+  }
+  std::vector<u8> message = {'a', 't', 't', 'a', 'c', 'k', ' ', 'a', 't', ' ',
+                             'd', 'a', 'w', 'n', '!', '!'};
+  const std::vector<u8> plaintext = message;
+  snow3g::f8(ck, 0x1234, 5, 0, message, message.size() * 8);  // victim encrypts
+
+  snow3g::Key128 ck_stolen{};
+  for (int w = 0; w < 4; ++w) {
+    store_be32(ck_stolen.data() + 4 * (3 - w), res.secrets.key[static_cast<size_t>(w)]);
+  }
+  snow3g::f8(ck_stolen, 0x1234, 5, 0, message, message.size() * 8);  // attacker decrypts
+  std::printf("step 4: captured UEA2 ciphertext decrypted with the stolen key: \"%.*s\"\n",
+              static_cast<int>(message.size()), reinterpret_cast<const char*>(message.data()));
+  return message == plaintext ? 0 : 1;
+}

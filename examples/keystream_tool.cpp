@@ -1,0 +1,118 @@
+// Command-line SNOW 3G tool exercising the cipher library directly:
+//
+//   keystream_tool keystream <key-hex32 x4> <iv-hex32 x4> [words]
+//   keystream_tool f8 <ck-hex128> <count> <bearer> <dir> <data-hex>
+//   keystream_tool f9 <ik-hex128> <count> <fresh> <dir> <data-hex>
+//   keystream_tool tables        (reproduce the paper's Tables III/IV/V)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/hex.h"
+#include "snow3g/f8f9.h"
+#include "snow3g/reverse.h"
+#include "snow3g/snow3g.h"
+
+using namespace sbm;
+using namespace sbm::snow3g;
+
+namespace {
+
+Key128 parse_key128(const char* hex) {
+  const auto bytes = parse_hex_bytes(hex);
+  if (bytes.size() != 16) throw std::invalid_argument("need 32 hex digits");
+  Key128 k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+int cmd_keystream(int argc, char** argv) {
+  if (argc < 8) {
+    std::fprintf(stderr, "usage: keystream k0 k1 k2 k3 iv0 iv1 iv2 iv3 [words]\n");
+    return 2;
+  }
+  Key k{};
+  Iv iv{};
+  for (int i = 0; i < 4; ++i) k[static_cast<size_t>(i)] = parse_hex32(argv[i]);
+  for (int i = 0; i < 4; ++i) iv[static_cast<size_t>(i)] = parse_hex32(argv[4 + i]);
+  const size_t words = argc > 8 ? static_cast<size_t>(std::atoll(argv[8])) : 16;
+  Snow3g cipher(k, iv);
+  for (size_t t = 0; t < words; ++t) std::printf("%s\n", hex32(cipher.next()).c_str());
+  return 0;
+}
+
+int cmd_f8(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: f8 <ck-hex128> <count> <bearer> <dir> <data-hex>\n");
+    return 2;
+  }
+  const Key128 ck = parse_key128(argv[0]);
+  const u32 count = static_cast<u32>(std::strtoul(argv[1], nullptr, 0));
+  const u32 bearer = static_cast<u32>(std::strtoul(argv[2], nullptr, 0));
+  const u32 dir = static_cast<u32>(std::strtoul(argv[3], nullptr, 0));
+  auto data = parse_hex_bytes(argv[4]);
+  f8(ck, count, bearer, dir, data, data.size() * 8);
+  std::printf("%s\n", hex_bytes(data).c_str());
+  return 0;
+}
+
+int cmd_f9(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: f9 <ik-hex128> <count> <fresh> <dir> <data-hex>\n");
+    return 2;
+  }
+  const Key128 ik = parse_key128(argv[0]);
+  const u32 count = static_cast<u32>(std::strtoul(argv[1], nullptr, 0));
+  const u32 fresh = static_cast<u32>(std::strtoul(argv[2], nullptr, 0));
+  const u32 dir = static_cast<u32>(std::strtoul(argv[3], nullptr, 0));
+  const auto data = parse_hex_bytes(argv[4]);
+  std::printf("%s\n", hex32(f9(ik, count, fresh, dir, data, data.size() * 8)).c_str());
+  return 0;
+}
+
+int cmd_tables() {
+  std::printf("Table III (key-independent keystream):\n");
+  Snow3g t3({}, {}, FaultConfig::key_independent());
+  for (int t = 1; t <= 16; ++t) std::printf("  %2d  %s\n", t, hex32(t3.next()).c_str());
+
+  const Key k = {0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48};
+  const Iv iv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+  std::printf("Table IV (faulty keystream):\n");
+  Snow3g t4(k, iv, FaultConfig::full_attack());
+  const auto z = t4.keystream(16);
+  for (int t = 0; t < 16; ++t) std::printf("  %2d  %s\n", t + 1, hex32(z[static_cast<size_t>(t)]).c_str());
+
+  std::printf("Table V (recovered S^0):\n");
+  const LfsrState s0 = state_from_faulty_keystream(z);
+  for (int i = 0; i < 16; ++i) std::printf("  %2d  %s\n", i, hex32(s0[static_cast<size_t>(i)]).c_str());
+  const auto secrets = extract_key(s0);
+  if (secrets) {
+    std::printf("key: %s %s %s %s\n", hex32(secrets->key[0]).c_str(),
+                hex32(secrets->key[1]).c_str(), hex32(secrets->key[2]).c_str(),
+                hex32(secrets->key[3]).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s keystream|f8|f9|tables ...\n", argv[0]);
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "keystream") return cmd_keystream(argc - 2, argv + 2);
+    if (cmd == "f8") return cmd_f8(argc - 2, argv + 2);
+    if (cmd == "f9") return cmd_f9(argc - 2, argv + 2);
+    if (cmd == "tables") return cmd_tables();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command\n");
+  return 2;
+}

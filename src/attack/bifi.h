@@ -1,0 +1,71 @@
+// BiFI-style untargeted bitstream fault injection — the baseline the paper
+// builds on (Swierczynski et al., "Bitstream Fault Injections (BiFI) —
+// Automated Fault Attacks against SRAM-based FPGAs" [23]).
+//
+// BiFI needs no reverse engineering: it applies a small set of generic
+// rules to every LUT in turn (clear it, set it, invert it, ...) and checks
+// whether the faulted device output becomes cryptographically exploitable.
+// For a stream cipher, "exploitable" means the keystream collapses to
+// something key-recoverable: here, a sequence consistent with the pure
+// LFSR (so the Section VI-A reversal applies) or a constant/stuck output.
+//
+// The experiment contrasts the two attack philosophies:
+//   * BiFI flips one LUT at a time: single faults cannot cut the FSM word
+//     on all 32 bit positions at once, so against SNOW 3G it burns
+//     (#rules x #LUTs) reconfigurations without recovering the key.
+//   * The paper's targeted attack spends its reconfigurations on
+//     verification of FINDLUT candidates and succeeds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/findlut.h"
+#include "attack/oracle.h"
+#include "snow3g/reverse.h"
+
+namespace sbm::attack {
+
+/// The generic BiFI manipulation rules (subset of [23], Table 2).
+enum class BifiRule : u8 {
+  kClearLut,       // T1: LUT <- 0x0000000000000000
+  kSetLut,         // T2: LUT <- 0xFFFFFFFFFFFFFFFF
+  kInvertLut,      // T3: LUT <- ~LUT
+  kSetHighHalf,    // T4: O6 half <- 0xFFFFFFFF
+  kClearHighHalf,  // T5: O6 half <- 0x00000000
+};
+
+const std::vector<BifiRule>& all_bifi_rules();
+
+/// Applies a rule to the 64-bit INIT value.
+u64 apply_bifi_rule(u64 init, BifiRule rule);
+
+struct BifiResult {
+  bool success = false;          // a key-recovering fault was found
+  size_t configurations = 0;     // bitstreams loaded into the device
+  size_t rejected = 0;           // bitstreams the device refused (dead logic)
+  size_t interesting = 0;        // faults that changed the keystream
+  std::optional<snow3g::RecoveredSecrets> secrets;
+  std::string winning_description;
+};
+
+struct BifiOptions {
+  size_t words = 16;
+  FindLutOptions find;  // supplies the chunk stride d
+  /// Stop after this many device configurations (a real BiFI campaign is
+  /// bounded by lab time).
+  size_t max_configurations = 50000;
+};
+
+/// Runs the BiFI campaign: for every occupied LUT position and every rule,
+/// patch, reload, and test the keystream for key-recoverable structure.
+BifiResult run_bifi(Oracle& oracle, std::span<const u8> golden_bitstream,
+                    const BifiOptions& options = {});
+
+/// The BiFI success test, exposed for unit testing: true if `z` is
+/// key-recoverable, i.e. it passes the LFSR-reversal consistency check of
+/// Section VI-A or is a stuck-at constant.
+bool keystream_exploitable(std::span<const u32> z, std::optional<snow3g::RecoveredSecrets>* out);
+
+}  // namespace sbm::attack

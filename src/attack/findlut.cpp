@@ -1,0 +1,114 @@
+#include "attack/findlut.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sbm::attack {
+
+using bitstream::kChunkBytes;
+using bitstream::kSubVectors;
+using logic::InputPermutation;
+using logic::TruthTable6;
+
+const std::vector<std::array<u8, 4>>& all_chunk_orders() {
+  static const std::vector<std::array<u8, 4>> orders = [] {
+    std::vector<std::array<u8, 4>> out;
+    std::array<u8, 4> p = {0, 1, 2, 3};
+    do {
+      out.push_back(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+    return out;
+  }();
+  return orders;
+}
+
+namespace {
+
+std::span<const std::array<u8, 4>> orders_for(const FindLutOptions& options) {
+  if (options.try_all_orders) return all_chunk_orders();
+  return bitstream::device_chunk_orders();
+}
+
+/// Reads the 4 chunks at position l (stride d) and reassembles the stored
+/// 64-bit B vector assuming chunk c holds sub-vector order[c].
+u64 assemble_b(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order) {
+  u64 b = 0;
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    const u16 sub = static_cast<u16>(bytes[l + c * d] | (u16{bytes[l + c * d + 1]} << 8));
+    b |= u64{sub} << (16 * order[c]);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<LutMatch> find_lut(std::span<const u8> bitstream, TruthTable6 f,
+                               const FindLutOptions& options) {
+  std::vector<LutMatch> matches;
+  const size_t d = options.offset_d;
+  if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return matches;
+
+  // Precompute xi(F_pi) for every distinct permuted truth table.
+  struct Pattern {
+    TruthTable6 table;
+    InputPermutation perm;
+  };
+  std::unordered_map<u64, Pattern> patterns;
+  for (const auto& perm : logic::all_permutations6()) {
+    const TruthTable6 t = f.permuted(perm);
+    patterns.try_emplace(bitstream::xi_permute(t.bits()), Pattern{t, perm});
+  }
+
+  const auto orders = orders_for(options);
+  const size_t last = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes;
+  for (size_t l = 0; l <= last; ++l) {
+    for (const auto& order : orders) {
+      const u64 b = assemble_b(bitstream, l, d, order);
+      const auto it = patterns.find(b);
+      if (it == patterns.end()) continue;
+      matches.push_back({l, it->second.table, it->second.perm, order});
+      break;  // Mark(l): one hit per byte position
+    }
+  }
+  return matches;
+}
+
+std::vector<LutMatch> find_lut_naive(std::span<const u8> bitstream, TruthTable6 f,
+                                     const FindLutOptions& options) {
+  std::vector<LutMatch> matches;
+  const size_t d = options.offset_d;
+  if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return matches;
+  const auto orders = orders_for(options);
+  const size_t last = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes;
+
+  std::vector<bool> marked(bitstream.size(), false);
+  // for each (i1..ik) in P_k:
+  for (const auto& perm : logic::all_permutations6()) {
+    const TruthTable6 table = f.permuted(perm);           // GETTRUTHTABLE
+    const u64 b = bitstream::xi_permute(table.bits());    // B = xi(F)
+    std::array<u16, kSubVectors> sub{};                   // B = (B1,...,Br)
+    for (unsigned j = 0; j < kSubVectors; ++j) sub[j] = static_cast<u16>(b >> (16 * j));
+
+    for (size_t l = 0; l <= last; ++l) {
+      if (marked[l]) continue;
+      for (const auto& order : orders) {
+        bool match = true;
+        for (unsigned c = 0; c < kSubVectors && match; ++c) {
+          const u16 stored =
+              static_cast<u16>(bitstream[l + c * d] | (u16{bitstream[l + c * d + 1]} << 8));
+          match = stored == sub[order[c]];
+        }
+        if (match) {
+          matches.push_back({l, table, perm, order});
+          marked[l] = true;  // Mark(l)
+          break;
+        }
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const LutMatch& a, const LutMatch& b) { return a.byte_index < b.byte_index; });
+  return matches;
+}
+
+}  // namespace sbm::attack

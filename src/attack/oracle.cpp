@@ -1,0 +1,12 @@
+#include "attack/oracle.h"
+
+namespace sbm::attack {
+
+std::optional<std::vector<u32>> DeviceOracle::run(std::span<const u8> bitstream, size_t words) {
+  ++runs_;
+  fpga::Device device = system_.make_device();
+  if (!device.configure(bitstream)) return std::nullopt;
+  return device.keystream(iv_, words);
+}
+
+}  // namespace sbm::attack

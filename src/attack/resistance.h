@@ -1,0 +1,55 @@
+// Defender-side resistance evaluation — the stated purpose of the paper's
+// tool: "to assist in evaluating resistance of FPGAs to reverse engineering
+// and bitstream modification".
+//
+// Given only bitstream bytes (the attacker's view), the evaluator measures
+// how much structure a reverse engineer can extract:
+//   * the LUT-function histogram up to P equivalence ("LUTs covering a
+//     large number of nodes have a distinct structure and may be an easier
+//     target", Section VII-A),
+//   * candidate counts for the Table II attack families,
+//   * the XOR2-half population and the implied exhaustive-search complexity
+//     for a 32-bit target hidden among them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/findlut.h"
+
+namespace sbm::attack {
+
+struct ResistanceReport {
+  size_t occupied_luts = 0;
+  size_t empty_slots = 0;
+  /// Canonical P-class representative -> occurrence count, sorted by count
+  /// in `top_classes`.
+  std::map<u64, size_t> p_class_histogram;
+  std::vector<std::pair<size_t, u64>> top_classes;  // (count, canonical table)
+
+  /// Candidate counts per Table II function (name -> n).
+  std::map<std::string, size_t> table2_counts;
+  size_t keystream_family_max = 0;  // largest z-path candidate population
+  size_t feedback_family_total = 0;
+
+  /// XOR2-in-one-half candidates and the implied search cost of isolating a
+  /// 32-LUT target among them (log2 of C(n-32, 32); < 0 if n < 64).
+  size_t xor2_half_candidates = 0;
+  double log2_exhaustive_search = 0;
+
+  /// Overall verdict: true if whole-table family scans expose a >= 32
+  /// z-path population (the precondition of the Section VI attack).
+  bool attackable = false;
+
+  std::string summary() const;
+};
+
+/// Evaluates a bitstream.  `fdri_hint` optionally overrides the FDRI offset
+/// if the packet stream cannot be parsed.
+ResistanceReport evaluate_resistance(std::span<const u8> bitstream,
+                                     const FindLutOptions& options = {});
+
+}  // namespace sbm::attack

@@ -1,0 +1,35 @@
+// Candidate-family scanning: the step that produces the paper's Tables II
+// and VI (number of target-LUT candidates per guessed Boolean function).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/findlut.h"
+#include "logic/families.h"
+
+namespace sbm::attack {
+
+struct FamilyCount {
+  logic::Candidate candidate;
+  std::vector<LutMatch> matches;
+  size_t count() const { return matches.size(); }
+};
+
+/// Runs FINDLUT for every candidate in the family.
+std::vector<FamilyCount> scan_family(std::span<const u8> bitstream,
+                                     const std::vector<logic::Candidate>& family,
+                                     const FindLutOptions& options = {});
+
+/// The attack's working family: the paper's Table II candidates plus the
+/// generalized gated-XOR shapes (every control polarity count for 2- and
+/// 3-input XORs, with and without a linear pass-through input) that cover
+/// implementations whose control encoding differs from the paper's victim.
+const std::vector<logic::Candidate>& attack_family();
+
+/// Candidates for the LFSR-load MUX LUTs (Section VI-D.2): f_MUX2, the
+/// single 3-variable MUX and the MUX-with-feedback-fold shapes.
+const std::vector<logic::Candidate>& mux_scan_family();
+
+}  // namespace sbm::attack

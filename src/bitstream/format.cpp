@@ -1,0 +1,32 @@
+#include "bitstream/format.h"
+
+#include "crypto/crc32.h"
+
+namespace sbm::bitstream {
+
+ConfigCrc::ConfigCrc() : engine_(0x82F63B78u) {}
+
+void ConfigCrc::reset() { engine_.reset(); }
+
+void ConfigCrc::feed(Reg reg, u32 word) {
+  u8 w[5];
+  store_be32(w, word);
+  w[4] = static_cast<u8>(static_cast<u32>(reg));
+  engine_.update(std::span<const u8>(w, 5));
+}
+
+u32 read_word(std::span<const u8> bytes, size_t word_index) {
+  return load_be32(bytes.data() + word_index * 4);
+}
+
+void write_word(std::span<u8> bytes, size_t word_index, u32 value) {
+  store_be32(bytes.data() + word_index * 4, value);
+}
+
+void append_word(std::vector<u8>& bytes, u32 value) {
+  u8 w[4];
+  store_be32(w, value);
+  bytes.insert(bytes.end(), w, w + 4);
+}
+
+}  // namespace sbm::bitstream

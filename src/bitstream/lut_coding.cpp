@@ -1,0 +1,62 @@
+#include "bitstream/lut_coding.h"
+
+namespace sbm::bitstream {
+
+const std::array<u8, 64>& xi_table() {
+  // Transcribed from Table I of the paper ([14] originally).
+  static constexpr std::array<u8, 64> kXi = {
+      63, 47, 62, 46, 61, 45, 60, 44, 15, 31, 14, 30, 13, 29, 12, 28,
+      59, 43, 58, 42, 57, 41, 56, 40, 11, 27, 10, 26, 9,  25, 8,  24,
+      55, 39, 54, 38, 53, 37, 52, 36, 7,  23, 6,  22, 5,  21, 4,  20,
+      51, 35, 50, 34, 49, 33, 48, 32, 3,  19, 2,  18, 1,  17, 0,  16};
+  return kXi;
+}
+
+u64 xi_permute(u64 f) {
+  const auto& xi = xi_table();
+  u64 b = 0;
+  for (unsigned i = 0; i < 64; ++i) b |= u64{bit_of(f, i)} << xi[i];
+  return b;
+}
+
+u64 xi_inverse(u64 b) {
+  const auto& xi = xi_table();
+  u64 f = 0;
+  for (unsigned i = 0; i < 64; ++i) f |= u64{bit_of(b, xi[i])} << i;
+  return f;
+}
+
+std::array<u8, 4> chunk_order(mapper::SliceType type) {
+  return type == mapper::SliceType::kSliceL ? std::array<u8, 4>{0, 1, 2, 3}
+                                            : std::array<u8, 4>{3, 2, 0, 1};
+}
+
+const std::array<std::array<u8, 4>, 2>& device_chunk_orders() {
+  static const std::array<std::array<u8, 4>, 2> kOrders = {
+      chunk_order(mapper::SliceType::kSliceL), chunk_order(mapper::SliceType::kSliceM)};
+  return kOrders;
+}
+
+std::array<std::array<u8, kChunkBytes>, kSubVectors> encode_lut(u64 init,
+                                                                const std::array<u8, 4>& order) {
+  const u64 b = xi_permute(init);
+  std::array<std::array<u8, kChunkBytes>, kSubVectors> chunks{};
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    const u16 sub = static_cast<u16>(b >> (16 * order[c]));
+    chunks[c][0] = static_cast<u8>(sub);
+    chunks[c][1] = static_cast<u8>(sub >> 8);
+  }
+  return chunks;
+}
+
+u64 decode_lut(const std::array<std::array<u8, kChunkBytes>, kSubVectors>& chunks,
+               const std::array<u8, 4>& order) {
+  u64 b = 0;
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    const u16 sub = static_cast<u16>(chunks[c][0] | (u16{chunks[c][1]} << 8));
+    b |= u64{sub} << (16 * order[c]);
+  }
+  return xi_inverse(b);
+}
+
+}  // namespace sbm::bitstream

@@ -1,0 +1,48 @@
+// LUT truth-table <-> bitstream coding for our 7-series-like format.
+//
+// A 64-bit truth table F is first permuted by the bijection xi of the
+// paper's Table I (B = xi(F)), then partitioned into r = 4 sub-vectors of 16
+// bits (B1 = B[0..15], ..., B4 = B[48..63]) which are stored as 2-byte
+// chunks at a fixed byte offset d from each other, in one of two orders:
+// B1,B2,B3,B4 for SLICEL and B4,B3,B1,B2 for SLICEM (Section V-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+#include "mapper/packing.h"
+
+namespace sbm::bitstream {
+
+inline constexpr unsigned kSubVectors = 4;   // r
+inline constexpr unsigned kChunkBytes = 2;   // 16 bits
+
+/// xi-position of F[i] (Table I): bit i of the truth table lands at bit
+/// xi_table()[i] of the permuted vector B.
+const std::array<u8, 64>& xi_table();
+
+/// B = xi(F).
+u64 xi_permute(u64 f);
+
+/// F = xi^{-1}(B).
+u64 xi_inverse(u64 b);
+
+/// Sub-vector storage order for a slice type: order[c] says which B_j
+/// (0-based) is stored as the c-th chunk.
+std::array<u8, 4> chunk_order(mapper::SliceType type);
+
+/// The two orders used by the device family, in a form FINDLUT can iterate.
+const std::array<std::array<u8, 4>, 2>& device_chunk_orders();
+
+/// Serializes INIT into 4 chunks of 2 bytes (LSB-first bit packing within a
+/// chunk), in the order of `order`.
+std::array<std::array<u8, kChunkBytes>, kSubVectors> encode_lut(u64 init,
+                                                                const std::array<u8, 4>& order);
+
+/// Reassembles INIT from 4 chunks stored in `order`.
+u64 decode_lut(const std::array<std::array<u8, kChunkBytes>, kSubVectors>& chunks,
+               const std::array<u8, 4>& order);
+
+}  // namespace sbm::bitstream

@@ -1,0 +1,33 @@
+// Configuration-stream parser: what the device's configuration logic does.
+//
+// Walks the packet stream after the sync word, maintains the running
+// CRC-32C, collects FDRI frame data and verifies the CRC register write.
+// Following the paper's Section V-B, an attacker may disable the check by
+// replacing the "write CRC" command and its value with all-0 words; all-0
+// words are ignored by the packet engine, so a zeroed CRC write simply never
+// triggers a comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/format.h"
+
+namespace sbm::bitstream {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;           // non-empty when !ok
+  std::vector<u8> frame_data;  // FDRI payload
+  size_t fdri_byte_offset = 0; // offset of frame data inside the bitstream
+  bool crc_checked = false;    // a CRC register write was seen and matched
+  bool desynced = false;
+  std::optional<u32> idcode;
+};
+
+/// Parses an (unencrypted) bitstream.  CRC mismatch aborts configuration
+/// with ok = false, mirroring INIT_B being pulled low.
+ParseResult parse_bitstream(std::span<const u8> bytes);
+
+}  // namespace sbm::bitstream

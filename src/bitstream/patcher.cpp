@@ -1,0 +1,120 @@
+#include "bitstream/patcher.h"
+
+#include <stdexcept>
+
+namespace sbm::bitstream {
+
+u64 read_lut_init(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order) {
+  if (l + 3 * d + kChunkBytes > bytes.size()) throw std::out_of_range("LUT index out of range");
+  std::array<std::array<u8, kChunkBytes>, kSubVectors> chunks{};
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    chunks[c][0] = bytes[l + c * d];
+    chunks[c][1] = bytes[l + c * d + 1];
+  }
+  return decode_lut(chunks, order);
+}
+
+void write_lut_init(std::span<u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order,
+                    u64 init) {
+  if (l + 3 * d + kChunkBytes > bytes.size()) throw std::out_of_range("LUT index out of range");
+  const auto chunks = encode_lut(init, order);
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    bytes[l + c * d] = chunks[c][0];
+    bytes[l + c * d + 1] = chunks[c][1];
+  }
+}
+
+size_t disable_crc(std::vector<u8>& bytes) {
+  // Walk the packet stream (rather than grepping raw bytes, which could
+  // collide with frame data that happens to contain 0x30000001) and zero
+  // every CRC write header together with its value words.
+  const size_t words = bytes.size() / 4;
+  size_t w = 0;
+  while (w < words && read_word(bytes, w) != kSyncWord) ++w;
+  if (w == words) return 0;
+  ++w;
+
+  constexpr u32 kHeaderMask = 0b111u << 29 | 0b11u << 27;
+  constexpr u32 kT1 = 0b001u << 29 | 0b10u << 27;
+  constexpr u32 kT2 = 0b010u << 29 | 0b10u << 27;
+  size_t replaced = 0;
+  Reg last_reg = Reg::kCrc;
+  while (w < words) {
+    const size_t header_pos = w;
+    const u32 header = read_word(bytes, w++);
+    if (header == 0 || header == kNoop || header == kDummyWord) continue;
+    u32 count = 0;
+    Reg reg = last_reg;
+    if ((header & kHeaderMask) == kT1) {
+      reg = static_cast<Reg>((header >> 13) & 0x3FFFu);
+      count = header & 0x7FFu;
+      last_reg = reg;
+    } else if ((header & kHeaderMask) == kT2) {
+      count = header & 0x07FFFFFFu;
+    } else {
+      break;
+    }
+    if (w + count > words) break;
+    if (reg == Reg::kCrc && (header & kHeaderMask) == kT1 && count > 0) {
+      write_word(bytes, header_pos, 0);
+      for (u32 i = 0; i < count; ++i) write_word(bytes, w + i, 0);
+      ++replaced;
+    }
+    if (reg == Reg::kCmd) {
+      for (u32 i = 0; i < count; ++i) {
+        if (read_word(bytes, w + i) == static_cast<u32>(Cmd::kDesync)) return replaced;
+      }
+    }
+    w += count;
+  }
+  return replaced;
+}
+
+bool recompute_crc(std::vector<u8>& bytes) {
+  // Re-walk the packet stream, accumulating the CRC exactly as the device
+  // does, and overwrite the value following each CRC write header.
+  const size_t words = bytes.size() / 4;
+  size_t w = 0;
+  while (w < words && read_word(bytes, w) != kSyncWord) ++w;
+  if (w == words) return false;
+  ++w;
+
+  constexpr u32 kHeaderMask = 0b111u << 29 | 0b11u << 27;
+  constexpr u32 kT1 = 0b001u << 29 | 0b10u << 27;
+  constexpr u32 kT2 = 0b010u << 29 | 0b10u << 27;
+
+  ConfigCrc crc;
+  Reg last_reg = Reg::kCrc;
+  bool patched = false;
+  while (w < words) {
+    const u32 header = read_word(bytes, w++);
+    if (header == 0 || header == kNoop || header == kDummyWord) continue;
+    u32 count = 0;
+    Reg reg = last_reg;
+    if ((header & kHeaderMask) == kT1) {
+      reg = static_cast<Reg>((header >> 13) & 0x3FFFu);
+      count = header & 0x7FFu;
+      last_reg = reg;
+    } else if ((header & kHeaderMask) == kT2) {
+      count = header & 0x07FFFFFFu;
+    } else {
+      return false;
+    }
+    if (w + count > words) return false;
+    if (reg == Reg::kCrc) {
+      for (u32 i = 0; i < count; ++i) write_word(bytes, w + i, crc.value());
+      patched = true;
+    } else {
+      for (u32 i = 0; i < count; ++i) {
+        const u32 v = read_word(bytes, w + i);
+        crc.feed(reg, v);
+        if (reg == Reg::kCmd && v == static_cast<u32>(Cmd::kRcrc)) crc.reset();
+        if (reg == Reg::kCmd && v == static_cast<u32>(Cmd::kDesync)) return patched;
+      }
+    }
+    w += count;
+  }
+  return patched;
+}
+
+}  // namespace sbm::bitstream

@@ -1,0 +1,36 @@
+// Byte-level bitstream modification utilities — the attacker's toolbox.
+//
+// All functions operate directly on raw bitstream bytes, independent of the
+// placement database: the attacker only knows byte indexes returned by
+// FINDLUT.  CRC handling implements both options of Section V-B: disabling
+// the check by zeroing the "write CRC" command pair, or recomputing the
+// correct CRC-32C and replacing the stored value.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bitstream/lut_coding.h"
+#include "bitstream/format.h"
+
+namespace sbm::bitstream {
+
+/// Reads the 64-bit LUT INIT whose first sub-vector chunk is at byte index
+/// `l`, with chunks at stride `d` and stored in `order`.
+u64 read_lut_init(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order);
+
+/// Writes a 64-bit LUT INIT at byte index `l` (stride `d`, order `order`).
+void write_lut_init(std::span<u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order,
+                    u64 init);
+
+/// Disables the CRC check the way the paper does: the command
+///   0x30000001 <crc value>
+/// is replaced by two all-0 words wherever it appears.  Returns the number
+/// of replaced command pairs.
+size_t disable_crc(std::vector<u8>& bytes);
+
+/// Recomputes the configuration CRC of a (modified) bitstream and replaces
+/// the stored value.  Returns false if no CRC write packet is present.
+bool recompute_crc(std::vector<u8>& bytes);
+
+}  // namespace sbm::bitstream

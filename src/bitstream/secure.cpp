@@ -1,0 +1,70 @@
+#include "bitstream/secure.h"
+
+#include <algorithm>
+
+namespace sbm::bitstream {
+
+std::vector<u8> protect_bitstream(std::span<const u8> plain, const crypto::Aes256Key& k_e,
+                                  const AuthKey& k_a, const crypto::AesBlock& ctr_iv) {
+  std::vector<u8> blob;
+  blob.reserve(plain.size() + 96);
+  blob.insert(blob.end(), k_a.begin(), k_a.end());
+  blob.insert(blob.end(), plain.begin(), plain.end());
+  blob.insert(blob.end(), k_a.begin(), k_a.end());
+  const crypto::Sha256Digest mac = crypto::hmac_sha256(k_a, blob);
+  blob.insert(blob.end(), mac.begin(), mac.end());
+
+  crypto::aes256_ctr_xor(k_e, ctr_iv, blob);
+
+  std::vector<u8> out;
+  out.reserve(blob.size() + 24);
+  out.insert(out.end(), SecureHeader::kMagic.begin(), SecureHeader::kMagic.end());
+  out.insert(out.end(), ctr_iv.begin(), ctr_iv.end());
+  out.insert(out.end(), blob.begin(), blob.end());
+  return out;
+}
+
+UnprotectResult unprotect_bitstream(std::span<const u8> enc, const crypto::Aes256Key& k_e) {
+  UnprotectResult res;
+  constexpr size_t kHeader = 8 + 16;
+  constexpr size_t kOverhead = 32 + 32 + 32;  // K_A + K_A copy + HMAC
+  if (enc.size() < kHeader + kOverhead) {
+    res.error = "too short";
+    return res;
+  }
+  if (!std::equal(SecureHeader::kMagic.begin(), SecureHeader::kMagic.end(), enc.begin())) {
+    res.error = "bad magic";
+    return res;
+  }
+  crypto::AesBlock iv{};
+  std::copy(enc.begin() + 8, enc.begin() + 24, iv.begin());
+
+  std::vector<u8> blob(enc.begin() + kHeader, enc.end());
+  crypto::aes256_ctr_xor(k_e, iv, blob);
+
+  // K_A is stored in two places (Fig. 1); both copies must agree.
+  std::copy(blob.begin(), blob.begin() + 32, res.k_a.begin());
+  const size_t plain_len = blob.size() - kOverhead;
+  AuthKey k_a_copy{};
+  std::copy(blob.begin() + 32 + static_cast<long>(plain_len),
+            blob.begin() + 64 + static_cast<long>(plain_len), k_a_copy.begin());
+  if (res.k_a != k_a_copy) {
+    res.error = "K_A copies disagree (wrong K_E?)";
+    return res;
+  }
+
+  crypto::Sha256Digest stored{};
+  std::copy(blob.end() - 32, blob.end(), stored.begin());
+  const crypto::Sha256Digest computed = crypto::hmac_sha256(
+      res.k_a, std::span<const u8>(blob.data(), blob.size() - 32));
+  if (!crypto::digest_equal(stored, computed)) {
+    res.error = "HMAC mismatch (reported in BOOTSTS)";
+    return res;
+  }
+
+  res.plain.assign(blob.begin() + 32, blob.begin() + 32 + static_cast<long>(plain_len));
+  res.ok = true;
+  return res;
+}
+
+}  // namespace sbm::bitstream

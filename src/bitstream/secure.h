@@ -1,0 +1,44 @@
+// MAC-then-encrypt bitstream protection (paper Fig. 1) and its attack-side
+// inverse.
+//
+// Protected blob layout (before encryption):
+//   [ K_A (32 bytes) | plain bitstream | K_A copy (32 bytes) | HMAC (32) ]
+// The HMAC-SHA-256 (keyed with K_A) covers everything before it; the whole
+// blob is then encrypted with AES-256-CTR under K_E.  As on the real parts,
+// the authentication key K_A travels inside the encrypted envelope — so once
+// K_E leaks through a side channel ([16]-[18]), the attacker can decrypt,
+// read K_A, patch the bitstream, recompute the HMAC and re-encrypt.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "crypto/aes256.h"
+#include "crypto/hmac.h"
+
+namespace sbm::bitstream {
+
+using AuthKey = std::array<u8, 32>;  // K_A
+
+struct SecureHeader {
+  static constexpr std::array<u8, 8> kMagic = {'X', 'S', '7', 'E', 'N', 'C', 0, 1};
+};
+
+/// Wraps a plain bitstream: MAC with K_A, then encrypt with K_E.
+std::vector<u8> protect_bitstream(std::span<const u8> plain, const crypto::Aes256Key& k_e,
+                                  const AuthKey& k_a, const crypto::AesBlock& ctr_iv);
+
+struct UnprotectResult {
+  bool ok = false;
+  std::string error;
+  std::vector<u8> plain;  // the inner bitstream
+  AuthKey k_a{};          // recovered from the decrypted blob
+};
+
+/// Decrypts with K_E, extracts K_A, verifies the HMAC, returns the inner
+/// bitstream.  This is both the device's load path and the attacker's entry
+/// point once K_E is known.
+UnprotectResult unprotect_bitstream(std::span<const u8> enc, const crypto::Aes256Key& k_e);
+
+}  // namespace sbm::bitstream

@@ -1,0 +1,55 @@
+#include "common/hex.h"
+
+#include <stdexcept>
+
+namespace sbm {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("invalid hex digit");
+}
+
+}  // namespace
+
+std::string hex32(u32 w) {
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[w & 0xfu];
+    w >>= 4;
+  }
+  return out;
+}
+
+std::string hex_bytes(std::span<const u8> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (u8 b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xfu]);
+  }
+  return out;
+}
+
+u32 parse_hex32(std::string_view s) {
+  if (s.size() != 8) throw std::invalid_argument("hex32 needs 8 digits");
+  u32 w = 0;
+  for (char c : s) w = (w << 4) | static_cast<u32>(nibble_value(c));
+  return w;
+}
+
+std::vector<u8> parse_hex_bytes(std::string_view s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("odd hex length");
+  std::vector<u8> out;
+  out.reserve(s.size() / 2);
+  for (size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(static_cast<u8>((nibble_value(s[i]) << 4) | nibble_value(s[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace sbm

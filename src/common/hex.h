@@ -1,0 +1,29 @@
+// Hex formatting/parsing helpers used by examples, benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sbm {
+
+/// Formats `w` as 8 lowercase hex digits (the style used in the paper's
+/// keystream tables, e.g. "a1fb4788").
+std::string hex32(u32 w);
+
+/// Formats a byte buffer as a lowercase hex string without separators.
+std::string hex_bytes(std::span<const u8> bytes);
+
+/// Parses a 32-bit word from exactly 8 hex digits.  Throws
+/// std::invalid_argument on malformed input.
+u32 parse_hex32(std::string_view s);
+
+/// Parses a hex string (even length, no separators) into bytes.  Throws
+/// std::invalid_argument on malformed input.
+std::vector<u8> parse_hex_bytes(std::string_view s);
+
+}  // namespace sbm

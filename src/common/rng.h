@@ -1,0 +1,53 @@
+// Deterministic pseudo-random generator for tests and workload generation.
+//
+// A fixed, seedable generator (xoshiro256**) is used instead of std::mt19937
+// so that test workloads and benchmark inputs are reproducible across
+// standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace sbm {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  constexpr u64 next_u64() {
+    const u64 result = std::rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  constexpr u64 next_below(u64 bound) { return next_u64() % bound; }
+
+  constexpr bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace sbm

@@ -1,0 +1,33 @@
+#include "crypto/crc32.h"
+
+namespace sbm::crypto {
+
+Crc32Engine::Crc32Engine(u32 reflected_poly) {
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (reflected_poly ^ (c >> 1)) : (c >> 1);
+    table_[i] = c;
+  }
+}
+
+void Crc32Engine::update_byte(u8 b) {
+  state_ = table_[(state_ ^ b) & 0xffu] ^ (state_ >> 8);
+}
+
+void Crc32Engine::update(std::span<const u8> data) {
+  for (u8 b : data) update_byte(b);
+}
+
+u32 crc32(std::span<const u8> data) {
+  Crc32Engine e(0xEDB88320u);
+  e.update(data);
+  return e.value();
+}
+
+u32 crc32c(std::span<const u8> data) {
+  Crc32Engine e(0x82F63B78u);
+  e.update(data);
+  return e.value();
+}
+
+}  // namespace sbm::crypto

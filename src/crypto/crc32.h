@@ -1,0 +1,41 @@
+// CRC-32 used for bitstream integrity.
+//
+// Xilinx 7-series devices protect configuration frames with a 32-bit CRC
+// (UG470).  We expose two flavours:
+//   * Crc32: the ubiquitous reflected CRC-32 (poly 0x04C11DB7, as in
+//     Ethernet/zlib), used for whole-bitstream convenience checks.
+//   * Crc32C: the Castagnoli polynomial 0x1EDC6F41, which is what the
+//     7-series configuration logic actually computes over (data, address)
+//     pairs.  Our bitstream layer uses this one for the CRC register write.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+
+namespace sbm::crypto {
+
+/// Streaming reflected CRC with a compile-time-selected polynomial.
+class Crc32Engine {
+ public:
+  explicit Crc32Engine(u32 reflected_poly);
+
+  void reset() { state_ = 0xffffffffu; }
+  void update(std::span<const u8> data);
+  void update_byte(u8 b);
+  /// Final CRC value (state xor-out).
+  u32 value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  u32 table_[256];
+  u32 state_ = 0xffffffffu;
+};
+
+/// One-shot reflected CRC-32 (poly 0x04C11DB7, reflected 0xEDB88320).
+u32 crc32(std::span<const u8> data);
+
+/// One-shot CRC-32C (Castagnoli, reflected 0x82F63B78).
+u32 crc32c(std::span<const u8> data);
+
+}  // namespace sbm::crypto

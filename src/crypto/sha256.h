@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4).
+//
+// Substrate for the HMAC that authenticates bitstreams in the
+// MAC-then-encrypt scheme described in the paper (Fig. 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+
+namespace sbm::crypto {
+
+using Sha256Digest = std::array<u8, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const u8> data);
+  /// Finalizes and returns the digest.  The object must be reset() before
+  /// further use.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 8> h_{};
+  std::array<u8, 64> buf_{};
+  size_t buf_len_ = 0;
+  u64 total_len_ = 0;
+};
+
+/// One-shot SHA-256.
+Sha256Digest sha256(std::span<const u8> data);
+
+}  // namespace sbm::crypto

@@ -1,0 +1,72 @@
+#include "fpga/system.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sbm::fpga {
+
+System build_system(const SystemOptions& options) {
+  System sys;
+  sys.options = options;
+  sys.design = options.protected_variant ? netlist::build_protected_snow3g_design()
+                                         : netlist::build_snow3g_design();
+  sys.mapped = mapper::map_network(sys.design.net, options.mapper);
+  sys.placed = mapper::pack_and_place(sys.mapped, options.packing);
+  sys.golden = bitstream::assemble(sys.placed, options.key);
+  return sys;
+}
+
+std::vector<System::TruthLut> System::target_luts() const {
+  std::unordered_map<netlist::NodeId, unsigned> v_bit;
+  for (unsigned i = 0; i < 32; ++i) v_bit.emplace(design.target_v[i], i);
+
+  // Roots that drive the z outputs directly are the paper's LUT1 population.
+  std::unordered_set<netlist::NodeId> z_roots;
+  for (const auto& [name, po] : design.net.outputs()) z_roots.insert(po);
+
+  // Site lookup for byte indexes.
+  std::unordered_map<size_t, size_t> site_of;  // lut index -> phys site
+  for (size_t s = 0; s < placed.phys.size(); ++s) {
+    if (placed.phys[s].o6_lut >= 0) site_of[static_cast<size_t>(placed.phys[s].o6_lut)] = s;
+    if (placed.phys[s].o5_lut >= 0) site_of[static_cast<size_t>(placed.phys[s].o5_lut)] = s;
+  }
+
+  std::vector<TruthLut> out;
+  for (size_t li = 0; li < placed.mapped.luts.size(); ++li) {
+    const mapper::MappedLut& lut = placed.mapped.luts[li];
+    // Collect the covered cone: root back to (exclusive) cut leaves.
+    std::unordered_set<netlist::NodeId> leaves(lut.inputs.begin(), lut.inputs.end());
+    std::vector<netlist::NodeId> stack{lut.root};
+    std::unordered_set<netlist::NodeId> seen;
+    while (!stack.empty()) {
+      const netlist::NodeId id = stack.back();
+      stack.pop_back();
+      if (!seen.insert(id).second) continue;
+      // A cut leaf is an input wire, not covered logic; only interior nodes
+      // (and the root itself) count as "contains v".
+      if (leaves.count(id)) continue;
+      const auto it = v_bit.find(id);
+      if (it != v_bit.end()) {
+        out.push_back({golden.layout.site_byte_index(site_of.at(li)), it->second,
+                       z_roots.count(lut.root) != 0, li});
+      }
+      const netlist::Node& n = design.net.node(id);
+      switch (n.kind) {
+        case netlist::NodeKind::kAnd:
+        case netlist::NodeKind::kOr:
+        case netlist::NodeKind::kXor:
+          stack.push_back(n.fanin[0]);
+          stack.push_back(n.fanin[1]);
+          break;
+        case netlist::NodeKind::kNot:
+          stack.push_back(n.fanin[0]);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sbm::fpga

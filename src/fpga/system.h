@@ -1,0 +1,47 @@
+// End-to-end system bundle: design -> mapping -> placement -> bitstream ->
+// device, with the golden bitstream and the planted secrets kept together.
+// This is the "victim product" the examples, tests and benches instantiate.
+#pragma once
+
+#include <memory>
+
+#include "bitstream/assembler.h"
+#include "fpga/device.h"
+#include "mapper/mapper.h"
+#include "mapper/packing.h"
+#include "netlist/snow3g_design.h"
+
+namespace sbm::fpga {
+
+struct SystemOptions {
+  bool protected_variant = false;       // Section VII countermeasure
+  snow3g::Key key = {0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48};
+  mapper::MapperOptions mapper;
+  mapper::PackingOptions packing;
+};
+
+/// A fully built victim: netlist, mapped/placed design, golden bitstream.
+struct System {
+  netlist::Snow3gDesign design;
+  mapper::LutNetwork mapped;
+  mapper::PlacedDesign placed;
+  bitstream::AssembledBitstream golden;
+  SystemOptions options;
+
+  /// Fresh device bound to this system's geometry (not yet configured).
+  Device make_device() const { return Device(design, placed, golden.layout); }
+
+  /// Ground truth for evaluating the attack: byte indexes (FINDLUT's l) of
+  /// every LUT whose cone contains the target node v[bit], split by path.
+  struct TruthLut {
+    size_t byte_index;
+    unsigned bit;       // which of the 32 XORs of v
+    bool on_z_path;     // LUT1 vs LUT2/LUT3 role
+    size_t lut_index;   // into mapped.luts
+  };
+  std::vector<TruthLut> target_luts() const;
+};
+
+System build_system(const SystemOptions& options = {});
+
+}  // namespace sbm::fpga

@@ -1,0 +1,228 @@
+#include "logic/families.h"
+
+#include <stdexcept>
+
+namespace sbm::logic {
+namespace {
+
+using TT = TruthTable6;
+
+TT a(unsigned i) { return TT::var(i - 1); }  // paper-style 1-based accessor
+
+std::vector<Candidate> make_table2() {
+  const TT x3 = a(1) ^ a(2) ^ a(3);  // 3-input XOR
+  const TT x2 = a(1) ^ a(2);         // 2-input XOR
+  std::vector<Candidate> f;
+  auto add = [&f](std::string name, std::string formula, TT tt, TargetPath p,
+                  std::vector<u8> xors) {
+    Candidate c;
+    c.name = std::move(name);
+    c.formula = std::move(formula);
+    c.function = tt;
+    c.path = p;
+    c.xor_vars = std::move(xors);
+    f.push_back(std::move(c));
+  };
+  const std::vector<u8> x123 = {0, 1, 2};
+  const std::vector<u8> x12 = {0, 1};
+  add("f1", "(a1^a2^a3) a4 a5 a6", x3 & a(4) & a(5) & a(6), TargetPath::kKeystream, x123);
+  add("f2", "(a1^a2^a3) a4 a5 ~a6", x3 & a(4) & a(5) & ~a(6), TargetPath::kKeystream, x123);
+  add("f3", "(a1^a2^a3) a4 ~a5 ~a6", x3 & a(4) & ~a(5) & ~a(6), TargetPath::kKeystream, x123);
+  add("f4", "(a1^a2^a3) ~a4 ~a5 ~a6", x3 & ~a(4) & ~a(5) & ~a(6), TargetPath::kKeystream, x123);
+  add("f5", "(a1^a2^a3) ~a4 ~a5", x3 & ~a(4) & ~a(5), TargetPath::kKeystream, x123);
+  add("f6", "(a1^a2^a3) ~a4 a5", x3 & ~a(4) & a(5), TargetPath::kKeystream, x123);
+  add("f7", "(a1^a2^a3) a4 a5", x3 & a(4) & a(5), TargetPath::kKeystream, x123);
+  add("f8", "(a1^a2) ~a3 a4 a5 ^ a6", (x2 & ~a(3) & a(4) & a(5)) ^ a(6), TargetPath::kFeedback,
+      x12);
+  add("f9", "(a1^a2) ~a3 ~a4 a5 ^ a6", (x2 & ~a(3) & ~a(4) & a(5)) ^ a(6),
+      TargetPath::kFeedback, x12);
+  add("f10", "(a1^a2) ~a3 ~a4 ~a5 ^ a6", (x2 & ~a(3) & ~a(4) & ~a(5)) ^ a(6),
+      TargetPath::kFeedback, x12);
+  add("f11", "(a1^a2) a3 a4 a5 ^ a6", (x2 & a(3) & a(4) & a(5)) ^ a(6), TargetPath::kFeedback,
+      x12);
+  add("f12", "(a1^a2) a4 a5 ^ a3 a6", (x2 & a(4) & a(5)) ^ (a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f13", "(a1^a2) a4 a5 ^ ~a3 a6", (x2 & a(4) & a(5)) ^ (~a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f14", "(a1^a2) a4 ~a5 ^ a3 a6", (x2 & a(4) & ~a(5)) ^ (a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f15", "(a1^a2) a4 ~a5 ^ ~a3 a6", (x2 & a(4) & ~a(5)) ^ (~a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f16", "(a1^a2) ~a4 ~a5 ^ a3 a6", (x2 & ~a(4) & ~a(5)) ^ (a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f17", "(a1^a2) ~a4 ~a5 ^ ~a3 a6", (x2 & ~a(4) & ~a(5)) ^ (~a(3) & a(6)),
+      TargetPath::kFeedback, x12);
+  add("f18", "(a1^a2) a4 ^ a3 a6", (x2 & a(4)) ^ (a(3) & a(6)), TargetPath::kFeedback, x12);
+  add("f19", "(a1^a2) ~a4 ^ a3 a6", (x2 & ~a(4)) ^ (a(3) & a(6)), TargetPath::kFeedback, x12);
+  add("f20", "(a1^a2) a4 ^ ~a3 a6", (x2 & a(4)) ^ (~a(3) & a(6)), TargetPath::kFeedback, x12);
+  add("f21", "(a1^a2) ~a4 ^ ~a3 a6", (x2 & ~a(4)) ^ (~a(3) & a(6)), TargetPath::kFeedback,
+      x12);
+  return f;
+}
+
+}  // namespace
+
+TruthTable6 Candidate::stuck_at0_rewrite() const {
+  TT t = function;
+  for (u8 v : xor_vars) t = t.cofactor(v, 0);
+  return t;
+}
+
+TruthTable6 Candidate::load_zero_rewrite(bool active) const {
+  if (sel_var < 0) throw std::logic_error("not a load-MUX candidate");
+  const TT sel = TT::var(static_cast<unsigned>(sel_var));
+  return active ? (function & ~sel) : (function & sel);
+}
+
+const std::vector<Candidate>& table2_family() {
+  static const std::vector<Candidate> family = make_table2();
+  return family;
+}
+
+const Candidate& table2_candidate(const std::string& name) {
+  for (const auto& c : table2_family()) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("unknown Table II candidate: " + name);
+}
+
+TruthTable6 f_mux2() {
+  return (a(6) & ((a(1) & a(2)) | (~a(1) & a(3)))) |
+         (~a(6) & ((a(1) & a(4)) | (~a(1) & a(5))));
+}
+
+TruthTable6 f_mux2_zeroed() {
+  return (a(6) & ~a(1) & a(3)) | (~a(6) & ~a(1) & a(5));
+}
+
+const std::vector<Candidate>& mux_family() {
+  static const std::vector<Candidate> family = [] {
+    std::vector<Candidate> f;
+    Candidate dual;
+    dual.name = "f_MUX2";
+    dual.formula = "a6(a1 a2 + ~a1 a3) + ~a6(a1 a4 + ~a1 a5)";
+    dual.function = f_mux2();
+    dual.path = TargetPath::kLoadMux;
+    dual.sel_var = 0;
+    f.push_back(std::move(dual));
+
+    Candidate single;
+    single.name = "f_MUX1";
+    single.formula = "a1 a2 + ~a1 a3";
+    single.function = (a(1) & a(2)) | (~a(1) & a(3));
+    single.path = TargetPath::kLoadMux;
+    single.sel_var = 0;
+    f.push_back(std::move(single));
+    return f;
+  }();
+  return family;
+}
+
+TruthTable6 f8_alpha() { return a(6); }
+
+TruthTable6 f19_alpha() { return a(3) & a(6); }
+
+TruthTable6 f2_alpha2(unsigned pair_a, unsigned pair_b) {
+  if (pair_a == pair_b || pair_a < 1 || pair_a > 3 || pair_b < 1 || pair_b > 3) {
+    throw std::invalid_argument("pair must be two distinct variables among a1..a3");
+  }
+  // f2 = (a1^a2^a3) a4 a5 ~a6; drop the pair, keep the third XOR input.
+  const unsigned third = 1 + 2 + 3 - pair_a - pair_b;
+  return a(third) & a(4) & a(5) & ~a(6);
+}
+
+std::vector<Candidate> gated_xor_family(unsigned xor_arity, unsigned controls,
+                                        unsigned passthroughs, TargetPath path) {
+  if (xor_arity < 2 || xor_arity > 4) throw std::invalid_argument("xor_arity must be 2..4");
+  if (xor_arity + controls + passthroughs > 6) {
+    throw std::invalid_argument("too many inputs for a 6-LUT");
+  }
+
+  TT x = TT::zero();
+  std::vector<u8> xors;
+  for (unsigned i = 1; i <= xor_arity; ++i) {
+    x = x ^ a(i);
+    xors.push_back(static_cast<u8>(i - 1));
+  }
+
+  std::vector<Candidate> out;
+  // FINDLUT permutes inputs, so only the number of negated controls matters
+  // (c+1 polarity choices, Section VI-B).
+  for (unsigned neg = 0; neg <= controls; ++neg) {
+    TT g = x;
+    std::string formula = "xor" + std::to_string(xor_arity);
+    for (unsigned c = 0; c < controls; ++c) {
+      const unsigned v = xor_arity + 1 + c;
+      const bool negate = c < neg;
+      g = g & (negate ? ~a(v) : a(v));
+      formula += negate ? (" ~a" + std::to_string(v)) : (" a" + std::to_string(v));
+    }
+    for (unsigned p = 0; p < passthroughs; ++p) {
+      const unsigned v = xor_arity + controls + 1 + p;
+      g = g ^ a(v);
+      formula += " ^ a" + std::to_string(v);
+    }
+    Candidate c;
+    c.name = "gx" + std::to_string(xor_arity) + "c" + std::to_string(controls) + "n" +
+             std::to_string(neg) + "p" + std::to_string(passthroughs);
+    c.formula = std::move(formula);
+    c.function = g;
+    c.path = path;
+    c.xor_vars = xors;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Candidate> mux_fold_family() {
+  // mux(a1; a2; F(a3..)) with F a small feedback fragment.  Variables of F
+  // are shifted up by 2 so a1/a2 stay select/data.
+  auto shift2 = [](TT t) {
+    InputPermutation perm = {2, 3, 4, 5, 0, 1};  // F's a1 reads our a3, ...
+    return t.permuted(perm);
+  };
+  std::vector<TT> fragments;
+  std::vector<std::string> frag_names;
+  // Plain XORs of 2..4 inputs.
+  for (unsigned arity = 2; arity <= 4; ++arity) {
+    TT x = TT::zero();
+    for (unsigned i = 1; i <= arity; ++i) x = x ^ a(i);
+    fragments.push_back(x);
+    frag_names.push_back("xor" + std::to_string(arity));
+  }
+  // init-gated XOR fragments: P ^ (Q & c) with Q a 1- or 2-input XOR and P
+  // a 0..2-input XOR of further tree terms.
+  fragments.push_back((a(1) ^ a(2)) & a(3));
+  frag_names.push_back("(a^b)c");
+  fragments.push_back(((a(1) ^ a(2)) & a(3)) ^ a(4));
+  frag_names.push_back("(a^b)c^d");
+  fragments.push_back(((a(1) ^ a(2) ^ a(3)) & a(4)));
+  frag_names.push_back("(a^b^c)d");
+  fragments.push_back(a(1) & a(2));
+  frag_names.push_back("ab");
+  fragments.push_back((a(1) & a(2)) ^ a(3));
+  frag_names.push_back("ab^c");
+  fragments.push_back((a(1) & a(2)) ^ a(3) ^ a(4));
+  frag_names.push_back("ab^c^d");
+
+  std::vector<Candidate> out;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const TT f = shift2(fragments[i]);
+    Candidate c;
+    c.name = "mux_fold_" + frag_names[i];
+    c.formula = "a1 a2 + ~a1 (" + frag_names[i] + " over a3..)";
+    c.function = (a(1) & a(2)) | (~a(1) & f);
+    c.path = TargetPath::kLoadMux;
+    c.sel_var = 0;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+u32 mux3_half() {
+  // sel ? d1 : d0 over five variables: a1 = sel, a2 = d1, a3 = d0.
+  const TT m = (a(1) & a(2)) | (~a(1) & a(3));
+  return m.half(0);
+}
+
+}  // namespace sbm::logic

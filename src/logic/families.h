@@ -1,0 +1,86 @@
+// The candidate Boolean-function families of the attack (paper Tables II
+// and VI, Sections VI-B and VI-D).
+//
+// The attacker guesses how the target XOR node v was absorbed into a 6-LUT:
+// an XOR of 2..4 data inputs, AND-gated by c control inputs of unknown
+// polarity, optionally XOR-combined with pass-through inputs (feedback-tree
+// fragments).  Since FINDLUT already tries every input permutation, only
+// c+1 polarity choices per shape are needed instead of 2^c (Section VI-B).
+//
+// Each candidate carries enough structure for the fault rewrites:
+//   * xor_vars: the variables forming the hypothesized target XOR.  The
+//     stuck-at-0 fault v = 0 is "cofactor all xor_vars to 0" (for a plain
+//     XOR candidate this collapses to constant 0), generalizing Eq. (1).
+//   * sel_var: for LFSR-load MUX candidates, the select input; the beta
+//     fault zeroes the selected data branch (f_MUX2 -> f_MUX2^alpha).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+namespace sbm::logic {
+
+/// Which datapath output the candidate targets (Table II column 1).
+enum class TargetPath { kKeystream, kFeedback, kLoadMux };
+
+struct Candidate {
+  std::string name;      // "f2", ...
+  std::string formula;   // human-readable, as printed in the paper
+  TruthTable6 function;  // exact truth table
+  TargetPath path = TargetPath::kKeystream;
+  std::vector<u8> xor_vars;  // hypothesized target-XOR variables (0-based)
+  int sel_var = -1;          // load-MUX select variable, -1 otherwise
+
+  /// The v = 0 rewrite: all xor_vars cofactored to 0 (Eq. (1) generalized).
+  TruthTable6 stuck_at0_rewrite() const;
+
+  /// The beta rewrite for load-MUX candidates: the data branch selected at
+  /// sel_var = `active` is forced to 0 (f_MUX2 -> f_MUX2^alpha when active
+  /// is true).
+  TruthTable6 load_zero_rewrite(bool active) const;
+};
+
+/// The 21 candidate functions of Table II, in paper order (index 0 is f1).
+const std::vector<Candidate>& table2_family();
+
+/// Candidate by paper name ("f1".."f21"); throws std::out_of_range if
+/// unknown.
+const Candidate& table2_candidate(const std::string& name);
+
+/// The dual-output 2:1 MUX LUT used to load gamma(K, IV) into the LFSR
+/// (Section VI-D.2): f_MUX2 = a6(a1 a2 + ~a1 a3) + ~a6(a1 a4 + ~a1 a5),
+/// plus the single-output 3-variable MUX.
+const std::vector<Candidate>& mux_family();
+
+/// f_MUX2 and its beta rewrite, for reference and tests.
+TruthTable6 f_mux2();
+TruthTable6 f_mux2_zeroed();
+
+/// The alpha-fault rewrites of Eq. (1): f8 -> a6 and f19 -> a3 a6.
+TruthTable6 f8_alpha();
+TruthTable6 f19_alpha();
+
+/// The alpha2 rewrite of Section VI-D.1 for LUT1: removes the XOR pair
+/// (pair_a, pair_b) from f2 = (a1+a2+a3) a4 a5 ~a6, keeping the remaining
+/// XOR input (1-based variables, as in the paper).
+TruthTable6 f2_alpha2(unsigned pair_a, unsigned pair_b);
+
+/// Generates the generic family "XOR of `xor_arity` inputs, gated by every
+/// polarity mix of `controls` AND-controls, XORed with `passthroughs` extra
+/// single inputs".  xor_arity + controls + passthroughs <= 6.
+std::vector<Candidate> gated_xor_family(unsigned xor_arity, unsigned controls,
+                                        unsigned passthroughs, TargetPath path);
+
+/// Load-MUX-with-feedback-fold shapes: mux(a1; a2; F) where F ranges over
+/// small feedback fragments (plain XORs and init-gated XORs with
+/// pass-throughs) of the remaining inputs.  These arise when the mapper
+/// absorbs the top of the LFSR feedback tree into the s15 load MUX.
+std::vector<Candidate> mux_fold_family();
+
+/// The canonical 5-variable MUX half-table sel ? d1 : d0 (a1 = sel, a2 =
+/// d1, a3 = d0) used by the half-table beta scan.
+u32 mux3_half();
+
+}  // namespace sbm::logic

@@ -1,0 +1,93 @@
+#include "logic/truth_table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sbm::logic {
+
+TruthTable6 TruthTable6::permuted(const InputPermutation& perm) const {
+  u64 out = 0;
+  for (unsigned i = 0; i < kTableBits; ++i) {
+    unsigned j = 0;
+    for (unsigned k = 0; k < kLutInputs; ++k) {
+      j |= bit_of(i, perm[k]) << k;
+    }
+    out |= u64{bit_of(bits_, j)} << i;
+  }
+  return TruthTable6(out);
+}
+
+bool TruthTable6::depends_on(unsigned v) const {
+  return cofactor(v, 0) != cofactor(v, 1);
+}
+
+unsigned TruthTable6::support_size() const {
+  unsigned n = 0;
+  for (unsigned v = 0; v < kLutInputs; ++v) n += depends_on(v) ? 1 : 0;
+  return n;
+}
+
+TruthTable6 TruthTable6::cofactor(unsigned v, u32 value) const {
+  const u64 mask = TruthTable6::var(v).bits();
+  const u64 keep = value ? (bits_ & mask) : (bits_ & ~mask);
+  const unsigned shift = 1u << v;
+  // Copy the selected cofactor into both polarity slots of variable v.
+  return TruthTable6(value ? (keep | (keep >> shift)) : (keep | (keep << shift)));
+}
+
+std::string TruthTable6::to_string() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  u64 w = bits_;
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = kDigits[w & 0xf];
+    w >>= 4;
+  }
+  return s;
+}
+
+const std::vector<InputPermutation>& all_permutations6() {
+  static const std::vector<InputPermutation> perms = [] {
+    std::vector<InputPermutation> out;
+    InputPermutation p{};
+    std::iota(p.begin(), p.end(), u8{0});
+    do {
+      out.push_back(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+    return out;
+  }();
+  return perms;
+}
+
+std::vector<TruthTable6> p_class(TruthTable6 f) {
+  std::vector<TruthTable6> tables;
+  tables.reserve(all_permutations6().size());
+  for (const auto& perm : all_permutations6()) tables.push_back(f.permuted(perm));
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+TruthTable6 p_canonical(TruthTable6 f) {
+  TruthTable6 best = f;
+  for (const auto& perm : all_permutations6()) best = std::min(best, f.permuted(perm));
+  return best;
+}
+
+bool p_equivalent(TruthTable6 f, TruthTable6 g) { return p_canonical(f) == p_canonical(g); }
+
+bool half_is_xor2(u32 half, bool allow_complement) {
+  // 5-variable projections (bit j of the half-table index is variable a_{j+1}).
+  constexpr std::array<u32, 5> kVar5 = {0xaaaaaaaau, 0xccccccccu, 0xf0f0f0f0u, 0xff00ff00u,
+                                        0xffff0000u};
+  for (unsigned i = 0; i < 5; ++i) {
+    for (unsigned j = i + 1; j < 5; ++j) {
+      const u32 x = kVar5[i] ^ kVar5[j];
+      if (half == x) return true;
+      if (allow_complement && half == ~x) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sbm::logic

@@ -1,0 +1,110 @@
+// 6-input truth tables and P-equivalence machinery.
+//
+// Convention: a k-LUT function is stored as a 64-bit table where minterm
+// index bit j corresponds to input variable a_{j+1} of the paper (bit 0 =
+// a1, ..., bit 5 = a6).  F[i] in the paper's Table I is bit i here.
+//
+// Two functions are P-equivalent if one arises from the other by permuting
+// inputs [30]; FINDLUT (Algorithm 1) searches a whole P class because the
+// router may feed a LUT's logical inputs through any physical pins.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sbm::logic {
+
+inline constexpr unsigned kLutInputs = 6;
+inline constexpr unsigned kTableBits = 64;
+
+/// Permutation of the 6 LUT inputs: output variable k reads original
+/// variable perm[k].
+using InputPermutation = std::array<u8, kLutInputs>;
+
+/// Value-semantic 6-input truth table with a small combinator algebra used
+/// to spell out candidate functions exactly as the paper writes them,
+/// e.g.  (var(0) ^ var(1) ^ var(2)) & var(3) & var(4) & ~var(5).
+class TruthTable6 {
+ public:
+  constexpr TruthTable6() = default;
+  explicit constexpr TruthTable6(u64 bits) : bits_(bits) {}
+
+  /// Projection onto input variable `v` (0-based: v = 0 is the paper's a1).
+  static constexpr TruthTable6 var(unsigned v) {
+    constexpr std::array<u64, 6> kVarMask = {
+        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+        0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+    return TruthTable6(kVarMask[v]);
+  }
+
+  static constexpr TruthTable6 zero() { return TruthTable6(0); }
+  static constexpr TruthTable6 one() { return TruthTable6(~u64{0}); }
+
+  constexpr u64 bits() const { return bits_; }
+  constexpr u32 eval(unsigned minterm) const { return bit_of(bits_, minterm); }
+
+  friend constexpr TruthTable6 operator&(TruthTable6 a, TruthTable6 b) {
+    return TruthTable6(a.bits_ & b.bits_);
+  }
+  friend constexpr TruthTable6 operator|(TruthTable6 a, TruthTable6 b) {
+    return TruthTable6(a.bits_ | b.bits_);
+  }
+  friend constexpr TruthTable6 operator^(TruthTable6 a, TruthTable6 b) {
+    return TruthTable6(a.bits_ ^ b.bits_);
+  }
+  constexpr TruthTable6 operator~() const { return TruthTable6(~bits_); }
+
+  constexpr auto operator<=>(const TruthTable6&) const = default;
+
+  /// g(x0..x5) = f(x_{perm[0]}, ..., x_{perm[5]}).
+  TruthTable6 permuted(const InputPermutation& perm) const;
+
+  /// True if the function's value depends on variable `v`.
+  bool depends_on(unsigned v) const;
+
+  /// Number of variables in the support.
+  unsigned support_size() const;
+
+  /// Cofactor with variable `v` fixed to `value` (result no longer depends
+  /// on v).
+  TruthTable6 cofactor(unsigned v, u32 value) const;
+
+  /// The two 32-bit halves seen by a 7-series dual-output LUT: half 0 is the
+  /// a6 = 0 sub-table (O5), half 1 the a6 = 1 sub-table.
+  u32 half(unsigned which) const {
+    return static_cast<u32>(bits_ >> (which ? 32 : 0));
+  }
+
+  /// Human-readable 16-hex-digit table, MSB first.
+  std::string to_string() const;
+
+ private:
+  u64 bits_ = 0;
+};
+
+/// All 720 permutations of 6 elements, in lexicographic order.
+const std::vector<InputPermutation>& all_permutations6();
+
+/// The distinct truth tables in the P-equivalence class of `f` (≤ 720,
+/// usually far fewer thanks to symmetries).
+std::vector<TruthTable6> p_class(TruthTable6 f);
+
+/// Canonical (minimal-bits) member of the P class.
+TruthTable6 p_canonical(TruthTable6 f);
+
+/// True if f and g are P-equivalent.
+bool p_equivalent(TruthTable6 f, TruthTable6 g);
+
+/// A 5-variable 2-input XOR test on a 32-bit half-table: true if the half
+/// equals a_i ^ a_j (or its complement when `allow_complement`) for some
+/// pair of the five variables a1..a5.  Used by the countermeasure evaluation
+/// (Section VII-B): "all LUTs having the 2-input XOR in one half of their
+/// truth table".
+bool half_is_xor2(u32 half, bool allow_complement = false);
+
+}  // namespace sbm::logic

@@ -1,0 +1,82 @@
+#include "mapper/lut_network.h"
+
+namespace sbm::mapper {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+LutSimulator::LutSimulator(const netlist::Network& net, const LutNetwork& mapped)
+    : net_(net), mapped_(mapped), value_(net.node_count(), 0), state_(net.node_count(), 0) {
+  net_.topo_order();
+}
+
+void LutSimulator::set_input(NodeId input, bool v) { value_[input] = v ? 1 : 0; }
+
+void LutSimulator::set_input_word(const netlist::Word& w, u32 v) {
+  for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(v, i) != 0);
+}
+
+void LutSimulator::settle() {
+  // Netlist node ids are created fanin-first, so increasing id is a valid
+  // topological order over sources, BRAM outputs and LUT roots alike.
+  for (NodeId id : net_.topo_order()) {
+    const Node& n = net_.node(id);
+    switch (n.kind) {
+      case NodeKind::kConst0:
+        value_[id] = 0;
+        break;
+      case NodeKind::kConst1:
+        value_[id] = 1;
+        break;
+      case NodeKind::kInput:
+        break;  // testbench-driven
+      case NodeKind::kDff:
+        value_[id] = state_[id];
+        break;
+      case NodeKind::kBramOut: {
+        const netlist::Bram& b = net_.brams()[n.bram];
+        u32 addr = 0;
+        for (unsigned i = 0; i < 32; ++i) addr |= u32{value_[b.inputs[i]]} << i;
+        value_[id] = bit_of(b.eval(addr), n.bram_bit);
+        break;
+      }
+      case NodeKind::kCarry: {
+        const u8 a = value_[n.fanin[0]], b = value_[n.fanin[1]], c = value_[n.fanin[2]];
+        value_[id] = static_cast<u8>((a & b) | (c & (a ^ b)));
+        break;
+      }
+      default: {
+        const auto it = mapped_.lut_of_root.find(id);
+        if (it == mapped_.lut_of_root.end()) break;  // interior node, unused
+        const MappedLut& lut = mapped_.luts[it->second];
+        unsigned index = 0;
+        for (size_t j = 0; j < lut.inputs.size(); ++j) {
+          index |= static_cast<unsigned>(value_[lut.inputs[j]]) << j;
+        }
+        value_[id] = static_cast<u8>(lut.function.eval(index));
+        break;
+      }
+    }
+  }
+}
+
+void LutSimulator::clock() {
+  for (NodeId dff : net_.dffs()) {
+    const NodeId d = net_.node(dff).fanin[0];
+    state_[dff] = d == netlist::kNoNode ? 0 : value_[d];
+  }
+}
+
+u32 LutSimulator::read_word(const netlist::Word& w) const {
+  u32 v = 0;
+  for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i])} << i;
+  return v;
+}
+
+void LutSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+}  // namespace sbm::mapper

@@ -1,0 +1,58 @@
+// Mapped 6-LUT network: the output of technology mapping and the functional
+// view configured by the FPGA device model.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "logic/truth_table.h"
+#include "netlist/netlist.h"
+
+namespace sbm::mapper {
+
+/// One mapped LUT.  `inputs` reference netlist nodes that are either mapping
+/// sources (PIs, DFF outputs, BRAM outputs, constants) or roots of other
+/// LUTs; input j corresponds to truth-table variable a_{j+1}.
+struct MappedLut {
+  netlist::NodeId root = netlist::kNoNode;
+  std::vector<netlist::NodeId> inputs;  // <= 6
+  logic::TruthTable6 function;          // vacuous in variables >= inputs.size()
+};
+
+/// The mapped design.  LUTs are stored in topological order (every LUT's
+/// inputs precede it).
+struct LutNetwork {
+  std::vector<MappedLut> luts;
+  std::unordered_map<netlist::NodeId, size_t> lut_of_root;
+
+  size_t lut_count() const { return luts.size(); }
+  bool is_root(netlist::NodeId n) const { return lut_of_root.count(n) != 0; }
+};
+
+/// Cycle-accurate simulator of the mapped design against the original
+/// network's sequential skeleton (DFFs, BRAMs, inputs/outputs are those of
+/// the Network; combinational logic is evaluated through the LUTs).
+class LutSimulator {
+ public:
+  LutSimulator(const netlist::Network& net, const LutNetwork& mapped);
+
+  void set_input(netlist::NodeId input, bool value);
+  void set_input_word(const netlist::Word& w, u32 value);
+  void settle();
+  void clock();
+  void step() {
+    settle();
+    clock();
+  }
+  bool value(netlist::NodeId id) const { return value_[id] != 0; }
+  u32 read_word(const netlist::Word& w) const;
+  void reset();
+
+ private:
+  const netlist::Network& net_;
+  const LutNetwork& mapped_;
+  std::vector<u8> value_;  // indexed by netlist NodeId (sources + LUT roots)
+  std::vector<u8> state_;  // DFF state
+};
+
+}  // namespace sbm::mapper

@@ -1,0 +1,41 @@
+// Cut-based 6-LUT technology mapping (paper Section II-B).
+//
+// The mapper enumerates k-feasible cuts bottom-up with priority-cut pruning
+// [37], then covers the network from the required roots (primary outputs,
+// DFF data inputs, BRAM inputs) choosing depth-optimal cuts.  Like
+// commercial mappers it freely *reuses* interior nodes: a node shared by
+// several covers is duplicated into each covering LUT, which is why the
+// paper finds the target node v inside more than one LUT per bit.
+//
+// DONT_TOUCH (Node::keep) nodes implement the paper's countermeasure
+// constraint: a kept node is always a mapping root implemented by its
+// trivial cut (its own fanins), and no other cut may absorb it.
+#pragma once
+
+#include "mapper/lut_network.h"
+
+namespace sbm::mapper {
+
+struct MapperOptions {
+  unsigned lut_inputs = 6;
+  /// Priority-cut list length per node.
+  unsigned max_cuts = 8;
+  /// If false, cut enumeration stops at nodes that multiple outputs share
+  /// (fanout barriers), eliminating node reuse/duplication.  Ablation knob
+  /// for the candidate-count experiment (Table II).
+  bool allow_node_reuse = true;
+};
+
+/// Maps `net` onto 6-LUTs.  Throws std::logic_error if a kept node has more
+/// than `lut_inputs` fanins.
+LutNetwork map_network(const netlist::Network& net, const MapperOptions& options = {});
+
+/// Statistics helper used by benches and tests.
+struct MappingStats {
+  size_t luts = 0;
+  size_t max_depth = 0;   // LUT levels on the longest register-to-register path
+  double avg_inputs = 0;  // average used inputs per LUT
+};
+MappingStats mapping_stats(const netlist::Network& net, const LutNetwork& mapped);
+
+}  // namespace sbm::mapper

@@ -1,0 +1,153 @@
+#include "mapper/packing.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sbm::mapper {
+
+using logic::TruthTable6;
+using netlist::NodeId;
+
+namespace {
+
+/// Re-expresses `lut`'s function over the pin list `pins` (a superset of the
+/// LUT's used inputs).  Returns the permuted truth table; the LUT's logical
+/// `inputs` are replaced by `pins`.
+TruthTable6 rebase_onto_pins(const MappedLut& lut, const std::vector<NodeId>& pins) {
+  logic::InputPermutation perm{};
+  std::array<bool, 6> used{};
+  for (size_t k = 0; k < lut.inputs.size(); ++k) {
+    const auto it = std::find(pins.begin(), pins.end(), lut.inputs[k]);
+    if (it == pins.end()) throw std::logic_error("pin list does not cover LUT input");
+    const u8 pos = static_cast<u8>(it - pins.begin());
+    perm[k] = pos;
+    used[pos] = true;
+  }
+  // Complete to a bijection; the function is vacuous in the filled slots.
+  size_t next = lut.inputs.size();
+  for (u8 pos = 0; pos < 6; ++pos) {
+    if (!used[pos]) {
+      if (next >= 6) throw std::logic_error("pin completion overflow");
+      perm[next++] = pos;
+    }
+  }
+  return lut.function.permuted(perm);
+}
+
+std::vector<NodeId> union_pins(const MappedLut& a, const MappedLut& b) {
+  std::vector<NodeId> u = a.inputs;
+  for (NodeId n : b.inputs) {
+    if (std::find(u.begin(), u.end(), n) == u.end()) u.push_back(n);
+  }
+  std::sort(u.begin(), u.end());
+  return u;
+}
+
+}  // namespace
+
+u64 PlacedDesign::init_of(size_t phys_index) const {
+  const PhysicalLut& p = phys[phys_index];
+  if (!p.dual()) {
+    return mapped.luts[static_cast<size_t>(p.o6_lut)].function.bits();
+  }
+  // Dual: O5 reads INIT[31:0], O6 (a6 tied high) reads INIT[63:32].  Both
+  // functions are stored rebased over the shared pins, vacuous in a6, so
+  // either half of their table is the correct 32-bit sub-table.
+  const u32 lo = mapped.luts[static_cast<size_t>(p.o5_lut)].function.half(0);
+  const u32 hi = mapped.luts[static_cast<size_t>(p.o6_lut)].function.half(0);
+  return (u64{hi} << 32) | lo;
+}
+
+TruthTable6 PlacedDesign::function_from_init(size_t phys_index, bool o5, u64 init) const {
+  const PhysicalLut& p = phys[phys_index];
+  TruthTable6 f;
+  if (!p.dual()) {
+    f = TruthTable6(init);
+  } else if (o5) {
+    const u64 lo = init & 0xffffffffull;
+    f = TruthTable6(lo | (lo << 32));
+  } else {
+    const u64 hi = init >> 32;
+    f = TruthTable6(hi | (hi << 32));
+  }
+  // Unconnected pins are tied to 1.
+  const size_t pin_limit = p.dual() ? 5 : 6;
+  for (size_t j = p.pins.size(); j < pin_limit; ++j) {
+    f = f.cofactor(static_cast<unsigned>(j), 1);
+  }
+  return f;
+}
+
+PlacedDesign::Site PlacedDesign::site_of_lut(size_t lut_index) const {
+  for (size_t i = 0; i < phys.size(); ++i) {
+    if (phys[i].o6_lut == static_cast<int>(lut_index)) return {i, false};
+    if (phys[i].o5_lut == static_cast<int>(lut_index)) return {i, true};
+  }
+  throw std::out_of_range("LUT has no physical site");
+}
+
+PlacedDesign pack_and_place(LutNetwork mapped, const PackingOptions& options) {
+  PlacedDesign out;
+
+  // Greedy dual-output pairing: first-fit over LUTs needing <= 5 inputs.
+  const size_t n = mapped.luts.size();
+  std::vector<int> partner(n, -1);
+  if (options.enable_dual_output) {
+    std::vector<size_t> small;
+    for (size_t i = 0; i < n; ++i) {
+      if (mapped.luts[i].inputs.size() <= 5) small.push_back(i);
+    }
+    for (size_t a = 0; a < small.size(); ++a) {
+      if (partner[small[a]] != -1) continue;
+      for (size_t b = a + 1; b < small.size(); ++b) {
+        if (partner[small[b]] != -1) continue;
+        if (union_pins(mapped.luts[small[a]], mapped.luts[small[b]]).size() <= 5) {
+          partner[small[a]] = static_cast<int>(small[b]);
+          partner[small[b]] = static_cast<int>(small[a]);
+          break;
+        }
+      }
+    }
+  }
+
+  // Build physical sites; rebase functions of paired LUTs onto shared pins.
+  for (size_t i = 0; i < n; ++i) {
+    if (partner[i] != -1 && static_cast<size_t>(partner[i]) < i) continue;  // done as pair
+    PhysicalLut p;
+    if (partner[i] == -1) {
+      p.o6_lut = static_cast<int>(i);
+      p.pins = mapped.luts[i].inputs;
+    } else {
+      const size_t j = static_cast<size_t>(partner[i]);
+      p.pins = union_pins(mapped.luts[i], mapped.luts[j]);
+      mapped.luts[i].function = rebase_onto_pins(mapped.luts[i], p.pins);
+      mapped.luts[i].inputs = p.pins;
+      mapped.luts[j].function = rebase_onto_pins(mapped.luts[j], p.pins);
+      mapped.luts[j].inputs = p.pins;
+      p.o5_lut = static_cast<int>(i);
+      p.o6_lut = static_cast<int>(j);
+    }
+    out.phys.push_back(std::move(p));
+  }
+
+  // Deterministic placement scatter.
+  Rng rng(options.placement_seed);
+  for (size_t i = out.phys.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.next_below(i));
+    std::swap(out.phys[i - 1], out.phys[j]);
+  }
+
+  const size_t slices = (out.phys.size() + 3) / 4;
+  out.slice_types.resize(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    out.slice_types[s] = (options.slicem_period != 0 && s % options.slicem_period ==
+                                                            options.slicem_period - 1)
+                             ? SliceType::kSliceM
+                             : SliceType::kSliceL;
+  }
+  out.mapped = std::move(mapped);
+  return out;
+}
+
+}  // namespace sbm::mapper

@@ -1,0 +1,65 @@
+// Slice packing and physical LUT assignment.
+//
+// Xilinx 7-series LUTs are 6-input, dual-output (Fig. 4): a LUT can realize
+// one function of up to 6 inputs on O6, or two functions of up to 5 shared
+// inputs on O5/O6 (O5 = INIT[31:0], O6 = a6 ? INIT[63:32] : INIT[31:0],
+// with a6 tied high in dual mode).  Slices hold four LUTs each and come in
+// two flavours, SLICEL and SLICEM, which the bitstream layer stores with
+// different sub-vector orders (Section V-A).
+//
+// Unconnected physical pins are tied to logic 1, as the vendor tools do;
+// the device model honours this when an attacker rewrites an INIT.
+#pragma once
+
+#include "common/rng.h"
+#include "mapper/lut_network.h"
+
+namespace sbm::mapper {
+
+enum class SliceType : u8 { kSliceL, kSliceM };
+
+/// One physical LUT site.  In dual mode both logical LUTs are re-expressed
+/// over the shared pin list before INIT emission.
+struct PhysicalLut {
+  std::vector<netlist::NodeId> pins;  // <= 6 single, <= 5 dual
+  int o6_lut = -1;                    // index into LutNetwork::luts
+  int o5_lut = -1;                    // -1 when single-output
+  bool dual() const { return o5_lut >= 0; }
+};
+
+struct PlacedDesign {
+  LutNetwork mapped;                   // canonical (as-synthesized) functions
+  std::vector<PhysicalLut> phys;       // physical sites in placement order
+  std::vector<SliceType> slice_types;  // per slice of four sites
+
+  SliceType slice_of(size_t phys_index) const { return slice_types[phys_index / 4]; }
+
+  /// 64-bit INIT for a physical site computed from the canonical functions.
+  u64 init_of(size_t phys_index) const;
+
+  /// Logical function of a mapped LUT given the (possibly attacker-modified)
+  /// INIT of its physical site, honouring pin ties.
+  logic::TruthTable6 function_from_init(size_t phys_index, bool o5, u64 init) const;
+
+  /// Physical site and output (O5/O6) implementing a mapped LUT.
+  struct Site {
+    size_t phys_index;
+    bool is_o5;
+  };
+  Site site_of_lut(size_t lut_index) const;
+};
+
+struct PackingOptions {
+  /// Greedy O5/O6 pairing of LUTs whose combined support is <= 5.
+  bool enable_dual_output = true;
+  /// Placement scatter seed (sites are shuffled deterministically so LUT
+  /// chunks are not trivially contiguous in the bitstream).
+  u64 placement_seed = 0x5eed;
+  /// Every third slice is a SLICEM, the rest SLICEL.
+  unsigned slicem_period = 3;
+};
+
+/// Packs a mapped network into physical sites and assigns slice types.
+PlacedDesign pack_and_place(LutNetwork mapped, const PackingOptions& options = {});
+
+}  // namespace sbm::mapper

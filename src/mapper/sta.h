@@ -1,0 +1,44 @@
+// Static timing analysis over the mapped design.
+//
+// A simple topological arrival-time propagation with a fixed-delay model:
+// clk-to-Q at register outputs, one LUT delay plus one net delay per mapped
+// LUT level, and a block-RAM access delay for the S-box lookups.  Absolute
+// numbers are not comparable to Vivado's, but relative comparisons — which
+// path is critical, and by how much the countermeasure slows the design —
+// reproduce the paper's Section VII-A observations (critical path moves
+// from the R1->R2 BRAM lookup to the MUL_alpha -> s15 feedback).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapper/lut_network.h"
+
+namespace sbm::mapper {
+
+struct TimingModel {
+  double clk_to_q_ns = 0.30;
+  double lut_delay_ns = 0.20;
+  double net_delay_ns = 0.60;
+  double bram_delay_ns = 3.30;  // block-RAM S-box access incl. output decode
+  double carry_delay_ns = 0.045;  // per carry-chain cell
+  double setup_ns = 0.10;
+};
+
+struct TimingPath {
+  double delay_ns = 0;
+  std::string start;  // launching register / input
+  std::string end;    // capturing register / output
+  size_t logic_levels = 0;
+};
+
+struct StaResult {
+  double critical_delay_ns = 0;
+  TimingPath critical;
+  std::vector<TimingPath> slowest;  // up to 10 worst endpoints, sorted
+};
+
+StaResult run_sta(const netlist::Network& net, const LutNetwork& mapped,
+                  const TimingModel& model = {});
+
+}  // namespace sbm::mapper

@@ -1,0 +1,260 @@
+#include "netlist/netlist.h"
+
+#include <stdexcept>
+
+namespace sbm::netlist {
+
+Network::Network() {
+  const0_ = add_node({NodeKind::kConst0, {kNoNode, kNoNode, kNoNode}, 0, 0, false});
+  const1_ = add_node({NodeKind::kConst1, {kNoNode, kNoNode, kNoNode}, 0, 0, false});
+}
+
+NodeId Network::add_node(Node n) {
+  nodes_.push_back(n);
+  topo_cache_.clear();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Network::add_input(std::string name) {
+  const NodeId id = add_node({NodeKind::kInput, {kNoNode, kNoNode, kNoNode}, 0, 0, false});
+  inputs_.push_back(id);
+  names_.emplace_back(id, std::move(name));
+  return id;
+}
+
+NodeId Network::add_gate(NodeKind kind, NodeId a, NodeId b) {
+  if (kind != NodeKind::kAnd && kind != NodeKind::kOr && kind != NodeKind::kXor) {
+    throw std::invalid_argument("add_gate: kind must be AND/OR/XOR");
+  }
+  // Light structural folding keeps constant-driven logic out of the fabric.
+  auto is_c0 = [this](NodeId n) { return n == const0_; };
+  auto is_c1 = [this](NodeId n) { return n == const1_; };
+  if (kind == NodeKind::kAnd) {
+    if (is_c0(a) || is_c0(b)) return const0_;
+    if (is_c1(a)) return b;
+    if (is_c1(b)) return a;
+  } else if (kind == NodeKind::kOr) {
+    if (is_c1(a) || is_c1(b)) return const1_;
+    if (is_c0(a)) return b;
+    if (is_c0(b)) return a;
+  } else {
+    if (is_c0(a)) return b;
+    if (is_c0(b)) return a;
+    if (is_c1(a)) return add_not(b);
+    if (is_c1(b)) return add_not(a);
+  }
+  return add_node({kind, {a, b, kNoNode}, 0, 0, false});
+}
+
+NodeId Network::add_not(NodeId a) {
+  if (a == const0_) return const1_;
+  if (a == const1_) return const0_;
+  return add_node({NodeKind::kNot, {a, kNoNode, kNoNode}, 0, 0, false});
+}
+
+NodeId Network::add_carry(NodeId a, NodeId b, NodeId cin) {
+  if (cin == const0_) return add_gate(NodeKind::kAnd, a, b);
+  if (cin == const1_) return add_gate(NodeKind::kOr, a, b);
+  return add_node({NodeKind::kCarry, {a, b, cin}, 0, 0, false});
+}
+
+NodeId Network::add_dff(std::string name) {
+  const NodeId id = add_node({NodeKind::kDff, {kNoNode, kNoNode, kNoNode}, 0, 0, false});
+  dff_ids_.push_back(id);
+  names_.emplace_back(id, std::move(name));
+  return id;
+}
+
+void Network::connect_dff(NodeId dff, NodeId d) {
+  if (nodes_[dff].kind != NodeKind::kDff) throw std::invalid_argument("not a DFF");
+  nodes_[dff].fanin[0] = d;
+  topo_cache_.clear();
+}
+
+u32 Network::add_bram(std::string name, const Word& inputs, std::function<u32(u32)> eval) {
+  Bram b;
+  b.name = std::move(name);
+  b.inputs = inputs;
+  b.eval = std::move(eval);
+  const u32 index = static_cast<u32>(brams_.size());
+  for (unsigned i = 0; i < 32; ++i) {
+    b.outputs[i] =
+        add_node({NodeKind::kBramOut, {kNoNode, kNoNode, kNoNode}, index, static_cast<u8>(i),
+                  false});
+  }
+  brams_.push_back(std::move(b));
+  return index;
+}
+
+void Network::add_output(std::string name, NodeId node) {
+  outputs_.emplace_back(std::move(name), node);
+}
+
+void Network::add_output_word(const std::string& name, const Word& w) {
+  for (unsigned i = 0; i < 32; ++i) add_output(name + "[" + std::to_string(i) + "]", w[i]);
+}
+
+Word Network::add_input_word(const std::string& name) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = add_input(name + "[" + std::to_string(i) + "]");
+  return w;
+}
+
+Word Network::add_dff_word(const std::string& name) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = add_dff(name + "[" + std::to_string(i) + "]");
+  return w;
+}
+
+Word Network::const_word(u32 value) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = bit_of(value, i) ? const1_ : const0_;
+  return w;
+}
+
+Word Network::xor_word(const Word& a, const Word& b) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = add_gate(NodeKind::kXor, a[i], b[i]);
+  return w;
+}
+
+Word Network::and_scalar(const Word& a, NodeId s) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = add_gate(NodeKind::kAnd, a[i], s);
+  return w;
+}
+
+Word Network::mux_word(NodeId sel, const Word& when1, const Word& when0) {
+  const NodeId nsel = add_not(sel);
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) {
+    const NodeId hi = add_gate(NodeKind::kAnd, when1[i], sel);
+    const NodeId lo = add_gate(NodeKind::kAnd, when0[i], nsel);
+    w[i] = add_gate(NodeKind::kOr, hi, lo);
+  }
+  return w;
+}
+
+Word Network::not_word(const Word& a) {
+  Word w{};
+  for (unsigned i = 0; i < 32; ++i) w[i] = add_not(a[i]);
+  return w;
+}
+
+Word Network::add32(const Word& a, const Word& b) {
+  // Carry-chain adder, the way vendor tools infer "+": the per-bit sum XOR
+  // lands in a LUT while carries ride the dedicated chain (CARRY4).
+  Word sum{};
+  NodeId carry = const0_;
+  for (unsigned i = 0; i < 32; ++i) {
+    const NodeId axb = add_gate(NodeKind::kXor, a[i], b[i]);
+    sum[i] = add_gate(NodeKind::kXor, axb, carry);
+    if (i + 1 < 32) carry = add_carry(a[i], b[i], carry);
+  }
+  return sum;
+}
+
+NodeId Network::xor_tree(std::vector<NodeId> nets) {
+  if (nets.empty()) return const0_;
+  // Balanced reduction keeps logic depth minimal, as a mapper-friendly
+  // synthesis front end would.
+  while (nets.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((nets.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < nets.size(); i += 2) {
+      next.push_back(add_gate(NodeKind::kXor, nets[i], nets[i + 1]));
+    }
+    if (nets.size() % 2 == 1) next.push_back(nets.back());
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+const std::string& Network::name_of(NodeId id) const {
+  static const std::string kEmpty;
+  for (const auto& [node, name] : names_) {
+    if (node == id) return name;
+  }
+  return kEmpty;
+}
+
+const std::vector<NodeId>& Network::topo_order() const {
+  if (!topo_cache_.empty() || nodes_.empty()) return topo_cache_;
+  // Iterative DFS over combinational fanin.  DFF Qs, inputs and constants
+  // are sources.  A BRAM output depends on all inputs of its block.
+  std::vector<u8> state(nodes_.size(), 0);  // 0 = new, 1 = open, 2 = done
+  std::vector<NodeId> stack;
+  auto push_fanins = [&](NodeId id, std::vector<NodeId>& st) {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+      case NodeKind::kXor:
+        st.push_back(n.fanin[0]);
+        st.push_back(n.fanin[1]);
+        break;
+      case NodeKind::kNot:
+        st.push_back(n.fanin[0]);
+        break;
+      case NodeKind::kCarry:
+        st.push_back(n.fanin[0]);
+        st.push_back(n.fanin[1]);
+        st.push_back(n.fanin[2]);
+        break;
+      case NodeKind::kBramOut:
+        for (NodeId in : brams_[n.bram].inputs) st.push_back(in);
+        break;
+      default:
+        break;  // sources
+    }
+  };
+  for (NodeId root = 0; root < nodes_.size(); ++root) {
+    if (state[root] != 0) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      if (state[id] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[id] == 0) {
+        state[id] = 1;
+        std::vector<NodeId> fanins;
+        push_fanins(id, fanins);
+        bool ready = true;
+        for (NodeId f : fanins) {
+          if (state[f] == 0) {
+            stack.push_back(f);
+            ready = false;
+          } else if (state[f] == 1) {
+            throw std::logic_error("combinational cycle in netlist");
+          }
+        }
+        if (!ready) continue;
+      }
+      state[id] = 2;
+      topo_cache_.push_back(id);
+      stack.pop_back();
+    }
+  }
+  return topo_cache_;
+}
+
+size_t Network::gate_count() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    switch (node.kind) {
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+      case NodeKind::kXor:
+      case NodeKind::kNot:
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace sbm::netlist

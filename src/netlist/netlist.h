@@ -1,0 +1,132 @@
+// Gate-level Boolean network N = (V, E) (paper Section II), the input of
+// FPGA technology mapping.
+//
+// Node kinds: primary inputs, constants, 2-input gates, inverters, D
+// flip-flops and BRAM ports.  BRAMs model the block-RAM S-box lookups of the
+// paper's implementation ("the S-box is evaluated by a BRAM lookup"); their
+// contents never appear in the LUT fabric, exactly as on the real device.
+//
+// The builder interface works on 32-bit "words" (arrays of 32 nets) so that
+// the SNOW 3G datapath can be described at the level of Fig. 2/3 while still
+// producing individual gates for the mapper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sbm::netlist {
+
+using NodeId = u32;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+enum class NodeKind : u8 {
+  kConst0,
+  kConst1,
+  kInput,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kCarry,   // dedicated carry-chain cell: MAJ(fanin0, fanin1, fanin2)
+  kDff,     // sequential element; fanin[0] is D, Q is the node value
+  kBramOut  // one output bit of a BRAM block; fanin unused, see Bram
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kConst0;
+  std::array<NodeId, 3> fanin = {kNoNode, kNoNode, kNoNode};
+  u32 bram = 0;      // kBramOut: index of the Bram block
+  u8 bram_bit = 0;   // kBramOut: which output bit
+  bool keep = false; // DONT_TOUCH: must be covered by a trivial cut
+};
+
+/// A 32->32 synchronous-free lookup block (S-box in BRAM).
+struct Bram {
+  std::string name;
+  std::array<NodeId, 32> inputs{};   // bit 0 = LSB
+  std::array<NodeId, 32> outputs{};  // kBramOut nodes
+  std::function<u32(u32)> eval;
+};
+
+/// A 32-bit bundle of nets, bit 0 = LSB.
+using Word = std::array<NodeId, 32>;
+
+class Network {
+ public:
+  Network();
+
+  NodeId const0() const { return const0_; }
+  NodeId const1() const { return const1_; }
+
+  NodeId add_input(std::string name);
+  NodeId add_gate(NodeKind kind, NodeId a, NodeId b);
+  NodeId add_not(NodeId a);
+  /// Dedicated carry cell (CARRY4-style): computes the majority of a, b and
+  /// cin.  Carry cells are not absorbed into LUTs by the mapper and have
+  /// their own (small) delay in STA, like a real slice carry chain.
+  NodeId add_carry(NodeId a, NodeId b, NodeId cin);
+  NodeId add_dff(std::string name);
+  /// Sets the D input of a DFF after its Q has been used (registers form
+  /// cycles).
+  void connect_dff(NodeId dff, NodeId d);
+
+  /// Adds a BRAM lookup block; returns its index.  Output nets are created
+  /// eagerly.
+  u32 add_bram(std::string name, const Word& inputs, std::function<u32(u32)> eval);
+
+  void add_output(std::string name, NodeId node);
+  void add_output_word(const std::string& name, const Word& w);
+
+  void set_keep(NodeId node, bool keep = true) { nodes_[node].keep = keep; }
+
+  // --- word-level builder -------------------------------------------------
+  Word add_input_word(const std::string& name);
+  Word add_dff_word(const std::string& name);
+  Word const_word(u32 value);
+  Word xor_word(const Word& a, const Word& b);
+  Word and_scalar(const Word& a, NodeId s);
+  Word mux_word(NodeId sel, const Word& when1, const Word& when0);
+  Word not_word(const Word& a);
+  /// Ripple-carry adder modulo 2^32 (the spec's boxplus).
+  Word add32(const Word& a, const Word& b);
+  /// Balanced XOR tree over an arbitrary set of nets (empty -> const0).
+  NodeId xor_tree(std::vector<NodeId> nets);
+
+  // --- access ---------------------------------------------------------------
+  size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<Bram>& brams() const { return brams_; }
+  const std::vector<std::pair<std::string, NodeId>>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::string& name_of(NodeId id) const;
+
+  /// Combinational nodes in topological order (inputs/constants/DFF Qs and
+  /// BRAM outputs come first; each gate after its fanins; BRAM outputs after
+  /// every input of their block).  Cached; invalidated by structural edits.
+  const std::vector<NodeId>& topo_order() const;
+
+  /// Number of gates (AND/OR/XOR/NOT).
+  size_t gate_count() const;
+  size_t dff_count() const { return dff_ids_.size(); }
+  const std::vector<NodeId>& dffs() const { return dff_ids_; }
+
+ private:
+  NodeId add_node(Node n);
+
+  std::vector<Node> nodes_;
+  std::vector<Bram> brams_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> dff_ids_;
+  std::vector<std::pair<std::string, NodeId>> outputs_;
+  std::vector<std::pair<NodeId, std::string>> names_;
+  NodeId const0_ = 0;
+  NodeId const1_ = 0;
+  mutable std::vector<NodeId> topo_cache_;
+};
+
+}  // namespace sbm::netlist

@@ -1,0 +1,78 @@
+#include "netlist/sim.h"
+
+namespace sbm::netlist {
+
+Simulator::Simulator(const Network& net)
+    : net_(net), value_(net.node_count(), 0), state_(net.node_count(), 0) {
+  net_.topo_order();  // force cache construction up front
+}
+
+void Simulator::set_input(NodeId input, bool v) { value_[input] = v ? 1 : 0; }
+
+void Simulator::set_input_word(const Word& w, u32 v) {
+  for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(v, i) != 0);
+}
+
+void Simulator::settle() {
+  for (NodeId id : net_.topo_order()) {
+    const Node& n = net_.node(id);
+    switch (n.kind) {
+      case NodeKind::kConst0:
+        value_[id] = 0;
+        break;
+      case NodeKind::kConst1:
+        value_[id] = 1;
+        break;
+      case NodeKind::kInput:
+        break;  // testbench-driven
+      case NodeKind::kDff:
+        value_[id] = state_[id];
+        break;
+      case NodeKind::kAnd:
+        value_[id] = value_[n.fanin[0]] & value_[n.fanin[1]];
+        break;
+      case NodeKind::kOr:
+        value_[id] = value_[n.fanin[0]] | value_[n.fanin[1]];
+        break;
+      case NodeKind::kXor:
+        value_[id] = value_[n.fanin[0]] ^ value_[n.fanin[1]];
+        break;
+      case NodeKind::kNot:
+        value_[id] = value_[n.fanin[0]] ^ 1;
+        break;
+      case NodeKind::kCarry: {
+        const u8 a = value_[n.fanin[0]], b = value_[n.fanin[1]], c = value_[n.fanin[2]];
+        value_[id] = static_cast<u8>((a & b) | (c & (a ^ b)));
+        break;
+      }
+      case NodeKind::kBramOut: {
+        const Bram& b = net_.brams()[n.bram];
+        // All 32 inputs are earlier in topo order; evaluate lazily per bit.
+        u32 addr = 0;
+        for (unsigned i = 0; i < 32; ++i) addr |= u32{value_[b.inputs[i]]} << i;
+        value_[id] = bit_of(b.eval(addr), n.bram_bit);
+        break;
+      }
+    }
+  }
+}
+
+void Simulator::clock() {
+  for (NodeId dff : net_.dffs()) {
+    const NodeId d = net_.node(dff).fanin[0];
+    state_[dff] = d == kNoNode ? 0 : value_[d];
+  }
+}
+
+u32 Simulator::read_word(const Word& w) const {
+  u32 v = 0;
+  for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i])} << i;
+  return v;
+}
+
+void Simulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+}  // namespace sbm::netlist

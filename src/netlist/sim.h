@@ -1,0 +1,46 @@
+// Cycle-accurate two-valued simulator for Network.
+//
+// Evaluation model: primary inputs are driven by the testbench, DFFs expose
+// their current state as sources, all combinational logic (including BRAM
+// lookups) settles within the cycle, and clock() latches every DFF's D
+// input simultaneously.  This matches a single-clock synchronous design.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sbm::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Network& net);
+
+  void set_input(NodeId input, bool value);
+  void set_input_word(const Word& w, u32 value);
+
+  /// Settles combinational logic for the current inputs and register state.
+  void settle();
+
+  /// Latches all DFFs (call after settle()).
+  void clock();
+
+  /// settle() + clock().
+  void step() {
+    settle();
+    clock();
+  }
+
+  bool value(NodeId id) const { return value_[id] != 0; }
+  u32 read_word(const Word& w) const;
+
+  /// Resets all registers to 0 and clears inputs.
+  void reset();
+
+ private:
+  const Network& net_;
+  std::vector<u8> value_;  // current net values
+  std::vector<u8> state_;  // DFF state
+};
+
+}  // namespace sbm::netlist

@@ -1,0 +1,217 @@
+#include "netlist/snow3g_design.h"
+
+#include "snow3g/gf.h"
+#include "snow3g/sbox.h"
+
+namespace sbm::netlist {
+namespace {
+
+using snow3g::div_alpha;
+using snow3g::linear_map_columns;
+using snow3g::mul_alpha;
+
+// alpha * s0: (s0 << 8) xor MULalpha(byte3(s0)), as XOR trees per output bit.
+Word alpha_times_word(Network& net, const Word& s0) {
+  const auto cols = linear_map_columns(&mul_alpha);
+  Word out{};
+  for (unsigned i = 0; i < 32; ++i) {
+    std::vector<NodeId> terms;
+    if (i >= 8) terms.push_back(s0[i - 8]);  // the byte shift left
+    for (unsigned j = 0; j < 8; ++j) {
+      if (bit_of(cols[j], i)) terms.push_back(s0[24 + j]);  // MULalpha of byte 3
+    }
+    out[i] = net.xor_tree(std::move(terms));
+  }
+  return out;
+}
+
+// alpha^{-1} * s11: (s11 >> 8) xor DIValpha(byte0(s11)).
+Word alpha_div_word(Network& net, const Word& s11) {
+  const auto cols = linear_map_columns(&div_alpha);
+  Word out{};
+  for (unsigned i = 0; i < 32; ++i) {
+    std::vector<NodeId> terms;
+    if (i < 24) terms.push_back(s11[i + 8]);  // the byte shift right
+    for (unsigned j = 0; j < 8; ++j) {
+      if (bit_of(cols[j], i)) terms.push_back(s11[j]);  // DIValpha of byte 0
+    }
+    out[i] = net.xor_tree(std::move(terms));
+  }
+  return out;
+}
+
+// alpha*s0 and alpha^{-1}*s11 as flat term lists (per output bit), so the
+// unprotected variant can fold the gated FSM word into one balanced XOR tree
+// per feedback bit.  The differing term counts across the three byte regions
+// (bits 0..7 / 8..23 / 24..31) are what makes the mapper cover the target
+// node v heterogeneously — the effect behind the paper's 24 + 8 LUT2/LUT3
+// split.
+std::vector<NodeId> alpha_terms(const Word& s0, unsigned i) {
+  const auto cols = linear_map_columns(&mul_alpha);
+  std::vector<NodeId> terms;
+  if (i >= 8) terms.push_back(s0[i - 8]);
+  for (unsigned j = 0; j < 8; ++j) {
+    if (bit_of(cols[j], i)) terms.push_back(s0[24 + j]);
+  }
+  return terms;
+}
+
+std::vector<NodeId> alpha_div_terms(const Word& s11, unsigned i) {
+  const auto cols = linear_map_columns(&div_alpha);
+  std::vector<NodeId> terms;
+  if (i < 24) terms.push_back(s11[i + 8]);
+  for (unsigned j = 0; j < 8; ++j) {
+    if (bit_of(cols[j], i)) terms.push_back(s11[j]);
+  }
+  return terms;
+}
+
+Snow3gDesign build(bool protect) {
+  Snow3gDesign d;
+  Network& net = d.net;
+
+  // Interface.
+  for (int i = 0; i < 4; ++i) d.key[static_cast<size_t>(i)] = net.add_input_word("k" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) d.iv[static_cast<size_t>(i)] = net.add_input_word("iv" + std::to_string(i));
+  d.load = net.add_input("load");
+  d.init = net.add_input("init");
+  d.gen = net.add_input("gen");
+
+  // State.
+  std::array<Word, 16> s{};
+  for (int j = 0; j < 16; ++j) s[static_cast<size_t>(j)] = net.add_dff_word("s" + std::to_string(j));
+  const Word r1 = net.add_dff_word("R1");
+  const Word r2 = net.add_dff_word("R2");
+  const Word r3 = net.add_dff_word("R3");
+
+  // gamma(K, IV) words (Section III), combined one pipeline stage ahead of
+  // the LFSR-load MUXes.  Registering the key/IV combination is a routine
+  // timing choice; it also gives the design the paper's uniform LUT_MUX2
+  // population (every stage MUX selects between a register bit and the
+  // shifted-in bit).  The all-1s constant folds into NOTs.
+  const Word ones = net.const_word(0xffffffffu);
+  std::array<Word, 16> gc{};
+  gc[15] = net.xor_word(d.key[3], d.iv[0]);
+  gc[14] = d.key[2];
+  gc[13] = d.key[1];
+  gc[12] = net.xor_word(d.key[0], d.iv[1]);
+  gc[11] = net.xor_word(d.key[3], ones);
+  gc[10] = net.xor_word(net.xor_word(d.key[2], ones), d.iv[2]);
+  gc[9] = net.xor_word(net.xor_word(d.key[1], ones), d.iv[3]);
+  gc[8] = net.xor_word(d.key[0], ones);
+  gc[7] = d.key[3];
+  gc[6] = d.key[2];
+  gc[5] = d.key[1];
+  gc[4] = d.key[0];
+  gc[3] = net.xor_word(d.key[3], ones);
+  gc[2] = net.xor_word(d.key[2], ones);
+  gc[1] = net.xor_word(d.key[1], ones);
+  gc[0] = net.xor_word(d.key[0], ones);
+  std::array<Word, 16> g{};
+  for (int j = 0; j < 16; ++j) {
+    g[static_cast<size_t>(j)] = net.add_dff_word("g" + std::to_string(j));
+    for (unsigned i = 0; i < 32; ++i) {
+      net.connect_dff(g[static_cast<size_t>(j)][i], gc[static_cast<size_t>(j)][i]);
+    }
+  }
+
+  // FSM output word W = (s15 boxplus R1) xor R2 — the paper's node v.
+  const Word add2 = net.add32(s[15], r1);
+  Word v{};
+  for (unsigned i = 0; i < 32; ++i) {
+    v[i] = net.add_gate(NodeKind::kXor, add2[i], r2[i]);
+    d.target_v[i] = v[i];
+  }
+  const Word v_gated = net.and_scalar(v, d.init);
+
+  // LFSR feedback s15_pre = alpha*s0 xor s2 xor alpha^{-1}*s11 xor (v & init).
+  Word s15_pre{};
+  Word fb_partial{};  // protected variant only: explicit 2-input XOR stages
+  Word fb{};
+  if (!protect) {
+    // One balanced XOR tree per bit with the gated FSM word as a term; the
+    // mapper is free to absorb v into whichever 6-feasible cover wins.
+    for (unsigned i = 0; i < 32; ++i) {
+      std::vector<NodeId> terms = alpha_terms(s[0], i);
+      terms.push_back(s[2][i]);
+      for (NodeId t : alpha_div_terms(s[11], i)) terms.push_back(t);
+      terms.push_back(v_gated[i]);
+      s15_pre[i] = net.xor_tree(std::move(terms));
+      d.feedback_inject[i] = s15_pre[i];
+    }
+  } else {
+    // Countermeasure structure: explicit 2-input XOR vectors so that the
+    // target and its decoys can be pinned by DONT_TOUCH.
+    const Word a_s0 = alpha_times_word(net, s[0]);
+    const Word ai_s11 = alpha_div_word(net, s[11]);
+    for (unsigned i = 0; i < 32; ++i) {
+      fb_partial[i] = net.add_gate(NodeKind::kXor, a_s0[i], s[2][i]);
+      fb[i] = net.add_gate(NodeKind::kXor, fb_partial[i], ai_s11[i]);
+      s15_pre[i] = net.add_gate(NodeKind::kXor, fb[i], v_gated[i]);
+      d.feedback_inject[i] = s15_pre[i];
+    }
+  }
+
+  // Register next-state MUXes (the LUT_MUX2 population of Section VI-D.2).
+  for (int j = 0; j < 15; ++j) {
+    const Word next = net.mux_word(d.load, g[static_cast<size_t>(j)], s[static_cast<size_t>(j) + 1]);
+    for (unsigned i = 0; i < 32; ++i) net.connect_dff(s[static_cast<size_t>(j)][i], next[i]);
+  }
+  const Word s15_next = net.mux_word(d.load, g[15], s15_pre);
+  for (unsigned i = 0; i < 32; ++i) net.connect_dff(s[15][i], s15_next[i]);
+
+  // FSM update: r = R2 boxplus (R3 xor s5); R2' = S1(R1) (BRAM); R3' = S2(R2)
+  // (BRAM); all cleared on load.
+  const Word r3_x_s5 = net.xor_word(r3, s[5]);
+  const Word add1 = net.add32(r2, r3_x_s5);
+  const NodeId nload = net.add_not(d.load);
+  const u32 sb1 = net.add_bram("S1", r1, [](u32 w) { return snow3g::s1(w); });
+  const u32 sb2 = net.add_bram("S2", r2, [](u32 w) { return snow3g::s2(w); });
+  for (unsigned i = 0; i < 32; ++i) {
+    net.connect_dff(r1[i], net.add_gate(NodeKind::kAnd, add1[i], nload));
+    net.connect_dff(r2[i], net.add_gate(NodeKind::kAnd, net.brams()[sb1].outputs[i], nload));
+    net.connect_dff(r3[i], net.add_gate(NodeKind::kAnd, net.brams()[sb2].outputs[i], nload));
+  }
+
+  // Keystream output z = (s0 xor v) gated by gen & ~init & ~load.
+  const NodeId ninit = net.add_not(d.init);
+  Word z{};
+  for (unsigned i = 0; i < 32; ++i) {
+    const NodeId zx = net.add_gate(NodeKind::kXor, s[0][i], v[i]);
+    d.zpath_xor[i] = zx;
+    const NodeId g1 = net.add_gate(NodeKind::kAnd, zx, d.gen);
+    const NodeId g2 = net.add_gate(NodeKind::kAnd, g1, ninit);
+    z[i] = net.add_gate(NodeKind::kAnd, g2, nload);
+  }
+  d.z = z;
+  net.add_output_word("z", z);
+
+  if (protect) {
+    d.protected_variant = true;
+    // Target nodes v and five decoy 32-bit XOR vectors with the same
+    // function (2-input XOR) are forced into trivial cuts (Section VII-A:
+    // m = 32, r = 5 * 32 so x = 5 > 16/e - 1).
+    for (unsigned i = 0; i < 32; ++i) {
+      net.set_keep(d.target_v[i]);
+      net.set_keep(d.zpath_xor[i]);
+      net.set_keep(d.feedback_inject[i]);
+      net.set_keep(fb_partial[i]);
+      net.set_keep(fb[i]);
+      net.set_keep(r3_x_s5[i]);
+      d.decoy_xors.push_back(d.zpath_xor[i]);
+      d.decoy_xors.push_back(d.feedback_inject[i]);
+      d.decoy_xors.push_back(fb_partial[i]);
+      d.decoy_xors.push_back(fb[i]);
+      d.decoy_xors.push_back(r3_x_s5[i]);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Snow3gDesign build_snow3g_design() { return build(false); }
+
+Snow3gDesign build_protected_snow3g_design() { return build(true); }
+
+}  // namespace sbm::netlist

@@ -1,0 +1,99 @@
+#include "snow3g/f8f9.h"
+
+#include <stdexcept>
+
+namespace sbm::snow3g {
+namespace {
+
+// GF(2^64) with reduction byte 0x1b (x^64 + x^4 + x^3 + x + 1), as used by
+// the UIA2 EVAL polynomial accumulator.
+u64 mul64x(u64 v, u64 c) { return (v & 0x8000000000000000ull) ? ((v << 1) ^ c) : (v << 1); }
+
+u64 mul64(u64 v, u64 p, u64 c) {
+  u64 result = 0;
+  for (int i = 63; i >= 0; --i) {
+    result = mul64x(result, c);
+    if ((p >> i) & 1) result ^= v;
+  }
+  return result;
+}
+
+}  // namespace
+
+Key to_word_key(const Key128& ck) {
+  Key k{};
+  // First key byte is the most significant byte of k3 (spec loading order).
+  for (int w = 0; w < 4; ++w) {
+    const size_t base = static_cast<size_t>(w) * 4;
+    k[static_cast<size_t>(3 - w)] =
+        from_msb_bytes(ck[base], ck[base + 1], ck[base + 2], ck[base + 3]);
+  }
+  return k;
+}
+
+void f8(const Key128& ck, u32 count, u32 bearer, u32 direction, std::span<u8> data,
+        size_t length_bits) {
+  if (length_bits > data.size() * 8) throw std::invalid_argument("f8 length exceeds buffer");
+  const u32 br_dir = ((bearer & 0x1f) << 27) | ((direction & 1) << 26);
+  const Iv iv = {br_dir, count, br_dir, count};  // iv0..iv3
+  Snow3g cipher(to_word_key(ck), iv);
+
+  const size_t full_words = length_bits / 32;
+  size_t byte_off = 0;
+  for (size_t w = 0; w < full_words; ++w) {
+    const u32 z = cipher.next();
+    for (int b = 0; b < 4; ++b) {
+      data[byte_off] = static_cast<u8>(data[byte_off] ^ msb_byte(z, static_cast<unsigned>(b)));
+      ++byte_off;
+    }
+  }
+  size_t rem_bits = length_bits % 32;
+  if (rem_bits > 0) {
+    const u32 z = cipher.next();
+    unsigned byte_idx = 0;
+    while (rem_bits > 0) {
+      const size_t take = std::min<size_t>(8, rem_bits);
+      // Mask keeps only the `take` most significant bits of this byte.
+      const u8 mask = static_cast<u8>(0xff00u >> take);
+      data[byte_off] = static_cast<u8>(data[byte_off] ^ (msb_byte(z, byte_idx) & mask));
+      ++byte_off;
+      ++byte_idx;
+      rem_bits -= take;
+    }
+  }
+}
+
+u32 f9(const Key128& ik, u32 count, u32 fresh, u32 direction, std::span<const u8> message,
+       size_t length_bits) {
+  if (length_bits > message.size() * 8) throw std::invalid_argument("f9 length exceeds buffer");
+  // IV derivation per UIA2: FRESH and COUNT with DIRECTION folded into two
+  // fixed bit positions.
+  const Iv iv = {fresh ^ ((direction & 1) << 15), count ^ ((direction & 1) << 31), fresh,
+                 count};
+  Snow3g cipher(to_word_key(ik), iv);
+  const std::vector<u32> z = cipher.keystream(5);
+  const u64 p = (u64{z[0]} << 32) | z[1];
+  const u64 q = (u64{z[2]} << 32) | z[3];
+  constexpr u64 kC = 0x1b;
+
+  // D = ceil(LENGTH/64) + 1 blocks; the last carries the bit length.
+  const size_t d = (length_bits + 63) / 64 + 1;
+  u64 eval = 0;
+  for (size_t i = 0; i + 1 < d; ++i) {
+    u64 m = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      const size_t byte_idx = i * 8 + b;
+      const u8 v = byte_idx < (length_bits + 7) / 8 ? message[byte_idx] : 0;
+      m = (m << 8) | v;
+    }
+    // Zero any bits of the final partial byte beyond length_bits.
+    if ((i + 2) == d && length_bits % 64 != 0) {
+      m &= ~0ull << (64 - length_bits % 64);
+    }
+    eval = mul64(eval ^ m, p, kC);
+  }
+  eval = mul64(eval ^ static_cast<u64>(length_bits), q, kC);
+  return static_cast<u32>(eval >> 32) ^ z[4];
+}
+
+}  // namespace sbm::snow3g

@@ -1,0 +1,41 @@
+#include "snow3g/gf.h"
+
+namespace sbm::snow3g {
+namespace {
+
+constexpr u8 kAlphaFeedback = 0xA9;  // x^8 + x^7 + x^5 + x^3 + 1
+
+struct AlphaTables {
+  std::array<u32, 256> mul{};
+  std::array<u32, 256> div{};
+  constexpr AlphaTables() {
+    for (int c = 0; c < 256; ++c) {
+      const u8 b = static_cast<u8>(c);
+      mul[static_cast<size_t>(c)] = from_msb_bytes(
+          mulx_pow(b, 23, kAlphaFeedback), mulx_pow(b, 245, kAlphaFeedback),
+          mulx_pow(b, 48, kAlphaFeedback), mulx_pow(b, 239, kAlphaFeedback));
+      div[static_cast<size_t>(c)] = from_msb_bytes(
+          mulx_pow(b, 16, kAlphaFeedback), mulx_pow(b, 39, kAlphaFeedback),
+          mulx_pow(b, 6, kAlphaFeedback), mulx_pow(b, 64, kAlphaFeedback));
+    }
+  }
+};
+
+constexpr AlphaTables kTables{};
+
+}  // namespace
+
+u32 mul_alpha(u8 c) { return kTables.mul[c]; }
+u32 div_alpha(u8 c) { return kTables.div[c]; }
+
+u32 alpha_times(u32 w) { return (w << 8) ^ mul_alpha(static_cast<u8>(w >> 24)); }
+
+u32 alpha_div(u32 w) { return (w >> 8) ^ div_alpha(static_cast<u8>(w & 0xff)); }
+
+std::array<u32, 8> linear_map_columns(u32 (*map)(u8)) {
+  std::array<u32, 8> cols{};
+  for (unsigned j = 0; j < 8; ++j) cols[j] = map(static_cast<u8>(1u << j));
+  return cols;
+}
+
+}  // namespace sbm::snow3g

@@ -1,0 +1,48 @@
+// GF(2^8) and GF(2^32) arithmetic of the SNOW 3G LFSR (ETSI SAGE
+// specification, document 2).
+//
+// The LFSR feedback is v = alpha * s0  ^  s2  ^  alpha^{-1} * s11 over
+// GF(2^32), where multiplication by alpha / alpha^{-1} decomposes into a
+// byte shift plus an 8->32-bit table lookup (MULalpha / DIValpha).  Both
+// tables are GF(2)-linear in their input byte, a property the netlist layer
+// exploits to implement them as XOR trees.
+#pragma once
+
+#include <array>
+
+#include "common/bits.h"
+
+namespace sbm::snow3g {
+
+/// MULx(V, c): multiply V by x in GF(2^8) with feedback byte c.
+constexpr u8 mulx(u8 v, u8 c) {
+  return (v & 0x80) ? static_cast<u8>((v << 1) ^ c) : static_cast<u8>(v << 1);
+}
+
+/// MULxPOW(V, i, c): i-fold application of MULx.
+constexpr u8 mulx_pow(u8 v, int i, u8 c) {
+  for (int k = 0; k < i; ++k) v = mulx(v, c);
+  return v;
+}
+
+/// MULalpha(c) = MULxPOW(c,23) || MULxPOW(c,245) || MULxPOW(c,48) ||
+/// MULxPOW(c,239), all with feedback 0xA9.
+u32 mul_alpha(u8 c);
+
+/// DIValpha(c) = MULxPOW(c,16) || MULxPOW(c,39) || MULxPOW(c,6) ||
+/// MULxPOW(c,64), all with feedback 0xA9.
+u32 div_alpha(u8 c);
+
+/// alpha * w over GF(2^32): byte shift left + MULalpha of the expelled byte.
+u32 alpha_times(u32 w);
+
+/// alpha^{-1} * w over GF(2^32): byte shift right + DIValpha of the expelled
+/// byte.  Inverse of alpha_times (verified in tests).
+u32 alpha_div(u32 w);
+
+/// The 8x8 GF(2) matrix of a linear byte map m: column j (j = 0 is the input
+/// LSB) holds m(1<<j).  Used to expose MULalpha/DIValpha as XOR trees to the
+/// netlist generator.
+std::array<u32, 8> linear_map_columns(u32 (*map)(u8));
+
+}  // namespace sbm::snow3g

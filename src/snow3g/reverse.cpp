@@ -1,0 +1,47 @@
+#include "snow3g/reverse.h"
+
+#include <stdexcept>
+
+#include "snow3g/gf.h"
+
+namespace sbm::snow3g {
+
+LfsrState lfsr_backward(const LfsrState& s) {
+  LfsrState out{};
+  for (size_t i = 1; i < 16; ++i) out[i] = s[i - 1];
+  // Forward: s15' = alpha*s0 ^ s2 ^ alpha^{-1}*s11, with old s2 = new s1 and
+  // old s11 = new s10.  Solve for old s0.
+  out[0] = alpha_div(s[15] ^ s[1] ^ alpha_div(s[10]));
+  return out;
+}
+
+LfsrState state_from_faulty_keystream(std::span<const u32> z16, int steps) {
+  if (z16.size() < 16) throw std::invalid_argument("need 16 keystream words");
+  LfsrState s{};
+  for (size_t i = 0; i < 16; ++i) s[i] = z16[i];
+  for (int i = 0; i < steps; ++i) s = lfsr_backward(s);
+  return s;
+}
+
+std::optional<RecoveredSecrets> extract_key(const LfsrState& s) {
+  constexpr u32 kOnes = 0xffffffffu;
+  // gamma(K, IV) redundancies; any mismatch falsifies the fault hypothesis.
+  const bool consistent = s[0] == s[8] && s[0] == (s[4] ^ kOnes) && s[1] == (s[5] ^ kOnes) &&
+                          s[2] == (s[6] ^ kOnes) && s[3] == (s[7] ^ kOnes) && s[3] == s[11] &&
+                          s[13] == s[5] && s[14] == s[6];
+  if (!consistent) return std::nullopt;
+
+  RecoveredSecrets r;
+  r.key = {s[4], s[5], s[6], s[7]};
+  r.iv[0] = s[15] ^ r.key[3];
+  r.iv[1] = s[12] ^ r.key[0];
+  r.iv[2] = s[10] ^ kOnes ^ r.key[2];
+  r.iv[3] = s[9] ^ kOnes ^ r.key[1];
+  return r;
+}
+
+std::optional<RecoveredSecrets> recover_from_keystream(std::span<const u32> z16) {
+  return extract_key(state_from_faulty_keystream(z16));
+}
+
+}  // namespace sbm::snow3g

@@ -1,0 +1,40 @@
+// LFSR reversal and key extraction (Section VI-A, Tables IV/V).
+//
+// With the FSM output stuck at 0 during initialization, the LFSR evolves
+// through S^i = L^i(gamma(K, IV)); the discarded post-init clock makes the
+// first 16 keystream words of the fully-faulted cipher equal the state S^33.
+// An LFSR with a known characteristic polynomial is easy to reverse [45]:
+// one backward step recovers the old s0 as alpha^{-1}(s15' ^ s1' ^
+// alpha^{-1}(s10')).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "snow3g/snow3g.h"
+
+namespace sbm::snow3g {
+
+/// One backward LFSR step (inverse of lfsr_forward; verified in tests).
+LfsrState lfsr_backward(const LfsrState& s);
+
+/// Interprets 16 faulty keystream words as the LFSR state S^33 (z_1 = s0 of
+/// S^33, ..., z_16 = s15) and reverses `steps` LFSR steps (33 for the
+/// attack).
+LfsrState state_from_faulty_keystream(std::span<const u32> z16, int steps = 33);
+
+struct RecoveredSecrets {
+  Key key{};
+  Iv iv{};
+};
+
+/// Extracts K (and IV) from the recovered initial state S^0 = gamma(K, IV).
+/// Returns std::nullopt if S^0 violates the gamma redundancies (s0 = s8,
+/// s1 = ~s5, s2 = ~s6, s3 = s11 = ~s7, s13 = s5, s14 = s6), i.e. if the
+/// fault hypothesis was wrong.
+std::optional<RecoveredSecrets> extract_key(const LfsrState& s0);
+
+/// Convenience: full pipeline from 16 faulty keystream words to the key.
+std::optional<RecoveredSecrets> recover_from_keystream(std::span<const u32> z16);
+
+}  // namespace sbm::snow3g

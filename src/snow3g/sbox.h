@@ -1,0 +1,33 @@
+// SNOW 3G S-boxes S1 and S2 (ETSI SAGE specification, document 2).
+//
+// S1 applies the Rijndael S-box SR to each byte followed by the AES
+// MixColumns matrix circ(2,1,1,3) over GF(2^8)/0x1B.
+//
+// S2 applies the table SQ followed by the same circulant matrix over
+// GF(2^8)/0x69 (x^8 + x^6 + x^5 + x^3 + 1).  SQ is defined from the Dickson
+// polynomial of degree 49: since 49 = 7^2 and Dickson polynomials compose
+// (D_mn = D_m . D_n), SQ(x) = D7(D7(x)) ^ 0x25 with D7(x) = x^7 + x^5 + x
+// evaluated in GF(2^8)/0x69.  The derivation is validated end-to-end against
+// the paper's key-independent keystream (Table III), which exercises nothing
+// but the FSM.
+#pragma once
+
+#include <array>
+
+#include "common/bits.h"
+
+namespace sbm::snow3g {
+
+/// The Rijndael S-box table SR.
+const std::array<u8, 256>& table_sr();
+
+/// The Dickson-polynomial S-box table SQ.
+const std::array<u8, 256>& table_sq();
+
+/// The 32-bit S-box S1 (SR bytes + MixColumns over GF(2^8)/0x1B).
+u32 s1(u32 w);
+
+/// The 32-bit S-box S2 (SQ bytes + MixColumns over GF(2^8)/0x69).
+u32 s2(u32 w);
+
+}  // namespace sbm::snow3g

@@ -1,0 +1,93 @@
+#include "snow3g/snow3g.h"
+
+#include "snow3g/gf.h"
+#include "snow3g/sbox.h"
+
+namespace sbm::snow3g {
+
+LfsrState gamma(const Key& k, const Iv& iv) {
+  constexpr u32 kOnes = 0xffffffffu;
+  LfsrState s{};
+  s[15] = k[3] ^ iv[0];
+  s[14] = k[2];
+  s[13] = k[1];
+  s[12] = k[0] ^ iv[1];
+  s[11] = k[3] ^ kOnes;
+  s[10] = k[2] ^ kOnes ^ iv[2];
+  s[9] = k[1] ^ kOnes ^ iv[3];
+  s[8] = k[0] ^ kOnes;
+  s[7] = k[3];
+  s[6] = k[2];
+  s[5] = k[1];
+  s[4] = k[0];
+  s[3] = k[3] ^ kOnes;
+  s[2] = k[2] ^ kOnes;
+  s[1] = k[1] ^ kOnes;
+  s[0] = k[0] ^ kOnes;
+  return s;
+}
+
+namespace {
+
+u32 feedback(const LfsrState& s) {
+  return alpha_times(s[0]) ^ s[2] ^ alpha_div(s[11]);
+}
+
+}  // namespace
+
+LfsrState lfsr_forward(const LfsrState& s) {
+  LfsrState out{};
+  for (size_t i = 0; i < 15; ++i) out[i] = s[i + 1];
+  out[15] = feedback(s);
+  return out;
+}
+
+Snow3g::Snow3g(const Key& key, const Iv& iv, FaultConfig faults) : faults_(faults) {
+  s_ = faults_.load_zero_lfsr ? LfsrState{} : gamma(key, iv);
+  r1_ = r2_ = r3_ = 0;
+  for (int round = 0; round < 32; ++round) {
+    const u32 f = clock_fsm();
+    clock_lfsr_init(f);
+  }
+  // One keystream-mode clock whose FSM output is discarded.
+  (void)clock_fsm();
+  clock_lfsr_keystream();
+}
+
+u32 Snow3g::clock_fsm() {
+  const u32 f = (s_[15] + r1_) ^ r2_;
+  const u32 r = r2_ + (r3_ ^ s_[5]);
+  r3_ = s2(r2_);
+  r2_ = s1(r1_);
+  r1_ = r;
+  return f;
+}
+
+void Snow3g::clock_lfsr_init(u32 f) {
+  const u32 w = f & ~faults_.cut_fsm_to_lfsr_mask;
+  const u32 v = feedback(s_) ^ w;
+  for (size_t i = 0; i < 15; ++i) s_[i] = s_[i + 1];
+  s_[15] = v;
+}
+
+void Snow3g::clock_lfsr_keystream() {
+  const u32 v = feedback(s_);
+  for (size_t i = 0; i < 15; ++i) s_[i] = s_[i + 1];
+  s_[15] = v;
+}
+
+u32 Snow3g::next() {
+  const u32 f = clock_fsm();
+  const u32 z = faults_.cut_fsm_to_output ? s_[0] : (f ^ s_[0]);
+  clock_lfsr_keystream();
+  return z;
+}
+
+std::vector<u32> Snow3g::keystream(size_t n) {
+  std::vector<u32> z;
+  z.reserve(n);
+  for (size_t t = 0; t < n; ++t) z.push_back(next());
+  return z;
+}
+
+}  // namespace sbm::snow3g

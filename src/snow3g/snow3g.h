@@ -1,0 +1,89 @@
+// SNOW 3G reference model with a configurable fault harness.
+//
+// The plain cipher follows the ETSI SAGE specification.  The fault knobs
+// model exactly the bitstream modifications of the paper:
+//
+//   * cut_fsm_to_lfsr   - the stuck-at-0 fault on node v along the LFSR
+//                         feedback path (LUT2/LUT3 rewritten as in Eq. (1)):
+//                         during initialization the FSM word W is no longer
+//                         mixed into the feedback, so the state update is the
+//                         pure linear map L.
+//   * cut_fsm_to_output - the stuck-at-0 fault on node v along the z_t path
+//                         (LUT1 rewritten f2 -> a3 a4 a5 ~a6): the keystream
+//                         degenerates to z_t = s0.
+//   * load_zero_lfsr    - the beta fault (MUX LUTs rewritten): the LFSR is
+//                         initialized with the all-0 vector instead of
+//                         gamma(K, IV), making the keystream key-independent.
+//
+// With cut_fsm_to_lfsr + cut_fsm_to_output the 16 first keystream words are
+// the LFSR state S^33, from which reverse.h recovers gamma(K, IV) and the
+// key (paper Tables IV/V).  With cut_fsm_to_lfsr + load_zero_lfsr the
+// keystream is the key-independent sequence of Table III.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sbm::snow3g {
+
+using Key = std::array<u32, 4>;  // k0..k3 as in the spec
+using Iv = std::array<u32, 4>;   // iv0..iv3 as in the spec
+
+/// LFSR state s0..s15.
+using LfsrState = std::array<u32, 16>;
+
+/// Bitstream-modification faults (see file comment).  The feedback cut is a
+/// per-bit mask so that the attacker's reference signatures for partially
+/// patched bitstreams (one feedback LUT at a time) can be simulated.
+struct FaultConfig {
+  u32 cut_fsm_to_lfsr_mask = 0;  // W bits removed from the feedback path
+  bool cut_fsm_to_output = false;
+  bool load_zero_lfsr = false;
+
+  static constexpr FaultConfig none() { return {}; }
+  /// All faults of the final key-extraction run (Section VI-D.3).
+  static constexpr FaultConfig full_attack() { return {0xffffffffu, true, false}; }
+  /// Faults of the key-independent exploration run (Section VI-D.1).
+  static constexpr FaultConfig key_independent() { return {0xffffffffu, false, true}; }
+};
+
+/// The initial LFSR load gamma(K, IV) (Section III).
+LfsrState gamma(const Key& key, const Iv& iv);
+
+/// Word-oriented SNOW 3G engine.
+class Snow3g {
+ public:
+  /// Initializes with a key/IV and runs the 32 initialization rounds plus
+  /// the one discarded keystream-mode clock mandated by the spec.
+  Snow3g(const Key& key, const Iv& iv, FaultConfig faults = FaultConfig::none());
+
+  /// Produces the next keystream word z_t.
+  u32 next();
+
+  /// Produces `n` keystream words.
+  std::vector<u32> keystream(size_t n);
+
+  /// Current LFSR state (testing/attack analysis).
+  const LfsrState& lfsr() const { return s_; }
+  u32 r1() const { return r1_; }
+  u32 r2() const { return r2_; }
+  u32 r3() const { return r3_; }
+
+ private:
+  u32 clock_fsm();
+  void clock_lfsr_init(u32 f);
+  void clock_lfsr_keystream();
+
+  LfsrState s_{};
+  u32 r1_ = 0, r2_ = 0, r3_ = 0;
+  FaultConfig faults_;
+};
+
+/// One forward LFSR step in keystream mode (the linear map L); exposed for
+/// the reversal code and for property tests.
+LfsrState lfsr_forward(const LfsrState& s);
+
+}  // namespace sbm::snow3g

@@ -1,0 +1,89 @@
+// Attack pipeline failure modes: the pipeline must degrade gracefully (a
+// diagnostic, not a crash or a wrong key) when the oracle or the bitstream
+// is not what it expects.
+#include <gtest/gtest.h>
+
+#include "attack/pipeline.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+
+namespace sbm::attack {
+namespace {
+
+/// An oracle for a device that refuses every bitstream (e.g. eFUSE-locked).
+class RejectingOracle : public Oracle {
+ public:
+  std::optional<std::vector<u32>> run(std::span<const u8>, size_t) override {
+    ++runs_;
+    return std::nullopt;
+  }
+};
+
+/// An oracle that returns constant garbage regardless of the bitstream
+/// (e.g. the probe is not actually connected to the keystream port).
+class GarbageOracle : public Oracle {
+ public:
+  std::optional<std::vector<u32>> run(std::span<const u8>, size_t words) override {
+    ++runs_;
+    return std::vector<u32>(words, 0x42424242u);
+  }
+};
+
+TEST(AttackFailureModes, RejectingDevice) {
+  const fpga::System sys = fpga::build_system();
+  RejectingOracle oracle;
+  Attack attack(oracle, sys.golden.bytes, {});
+  const AttackResult res = attack.execute();
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.failure, "golden bitstream rejected by device");
+  EXPECT_EQ(oracle.runs(), 1u);
+}
+
+TEST(AttackFailureModes, UnresponsiveKeystreamPort) {
+  const fpga::System sys = fpga::build_system();
+  GarbageOracle oracle;
+  Attack attack(oracle, sys.golden.bytes, {});
+  const AttackResult res = attack.execute();
+  // Constant output never shows a single-bit kill, so phase 1 cannot verify
+  // any LUT1 and the pipeline reports that.
+  EXPECT_FALSE(res.success);
+  EXPECT_FALSE(res.failure.empty());
+}
+
+TEST(AttackFailureModes, GarbageBitstream) {
+  const fpga::System sys = fpga::build_system();
+  Rng rng(1);
+  std::vector<u8> garbage(sys.golden.bytes.size());
+  for (auto& b : garbage) b = static_cast<u8>(rng.next_u64());
+  DeviceOracle oracle(sys, {1, 2, 3, 4});
+  Attack attack(oracle, garbage, {});
+  const AttackResult res = attack.execute();
+  EXPECT_FALSE(res.success);
+  EXPECT_FALSE(res.failure.empty());
+}
+
+TEST(AttackFailureModes, LogNarratesTheRun) {
+  const fpga::System sys = fpga::build_system();
+  const snow3g::Iv iv = {5, 6, 7, 8};
+  DeviceOracle oracle(sys, iv);
+  PipelineConfig cfg;
+  cfg.iv = iv;
+  Attack attack(oracle, sys.golden.bytes, cfg);
+  const AttackResult res = attack.execute();
+  ASSERT_TRUE(res.success) << res.failure;
+  // The log must mention every phase landmark.
+  const std::string joined = [&] {
+    std::string all;
+    for (const auto& line : res.log) all += line + "\n";
+    return all;
+  }();
+  EXPECT_NE(joined.find("CRC"), std::string::npos);
+  EXPECT_NE(joined.find("z-path"), std::string::npos);
+  EXPECT_NE(joined.find("beta"), std::string::npos);
+  EXPECT_NE(joined.find("feedback"), std::string::npos);
+  EXPECT_NE(joined.find("alpha2"), std::string::npos);
+  EXPECT_NE(joined.find("key recovered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbm::attack

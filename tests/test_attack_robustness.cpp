@@ -1,0 +1,75 @@
+// Attack robustness across victim build variations: the pipeline must
+// succeed regardless of placement scatter, slice-type mix, packing policy
+// or mapper effort — none of which the attacker controls or knows.
+#include <gtest/gtest.h>
+
+#include "attack/pipeline.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+
+namespace sbm::attack {
+namespace {
+
+constexpr snow3g::Iv kIv = {0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff};
+
+AttackResult attack_system(const fpga::System& sys) {
+  DeviceOracle oracle(sys, kIv);
+  PipelineConfig cfg;
+  cfg.iv = kIv;
+  Attack attack(oracle, sys.golden.bytes, cfg);
+  return attack.execute();
+}
+
+TEST(AttackRobustness, DifferentPlacementSeed) {
+  fpga::SystemOptions opt;
+  opt.packing.placement_seed = 0xABCDEF;
+  opt.key = {0xdeadbeef, 0x01234567, 0x89abcdef, 0x0badf00d};
+  const fpga::System sys = fpga::build_system(opt);
+  const AttackResult res = attack_system(sys);
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_EQ(res.secrets.key, opt.key);
+}
+
+TEST(AttackRobustness, NoDualOutputPacking) {
+  fpga::SystemOptions opt;
+  opt.packing.enable_dual_output = false;
+  opt.key = {0x11111111, 0x22222222, 0x33333333, 0x44444444};
+  const fpga::System sys = fpga::build_system(opt);
+  const AttackResult res = attack_system(sys);
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_EQ(res.secrets.key, opt.key);
+}
+
+TEST(AttackRobustness, AllSliceLColumns) {
+  fpga::SystemOptions opt;
+  opt.packing.slicem_period = 0;  // every slice SLICEL
+  opt.key = {0xcafebabe, 0xfeedface, 0x0defaced, 0xdeadc0de};
+  const fpga::System sys = fpga::build_system(opt);
+  const AttackResult res = attack_system(sys);
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_EQ(res.secrets.key, opt.key);
+}
+
+TEST(AttackRobustness, WiderPriorityCutLists) {
+  fpga::SystemOptions opt;
+  opt.mapper.max_cuts = 12;
+  opt.key = {0x600df00d, 0x0ff1ce00, 0xbaddcafe, 0x8badf00d};
+  const fpga::System sys = fpga::build_system(opt);
+  const AttackResult res = attack_system(sys);
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_EQ(res.secrets.key, opt.key);
+}
+
+TEST(AttackRobustness, AllZeroAndAllOneKeys) {
+  for (const u32 word : {0u, 0xffffffffu}) {
+    fpga::SystemOptions opt;
+    opt.key = {word, word, word, word};
+    const fpga::System sys = fpga::build_system(opt);
+    const AttackResult res = attack_system(sys);
+    ASSERT_TRUE(res.success) << res.failure;
+    EXPECT_EQ(res.secrets.key, opt.key);
+  }
+}
+
+}  // namespace
+}  // namespace sbm::attack

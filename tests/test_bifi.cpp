@@ -1,0 +1,72 @@
+// BiFI baseline tests (untargeted rule-based fault injection, [23]).
+#include <gtest/gtest.h>
+
+#include "attack/bifi.h"
+#include "fpga/system.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::attack {
+namespace {
+
+TEST(BifiRules, RuleSemantics) {
+  const u64 init = 0x0123456789abcdefull;
+  EXPECT_EQ(apply_bifi_rule(init, BifiRule::kClearLut), 0u);
+  EXPECT_EQ(apply_bifi_rule(init, BifiRule::kSetLut), ~u64{0});
+  EXPECT_EQ(apply_bifi_rule(init, BifiRule::kInvertLut), ~init);
+  EXPECT_EQ(apply_bifi_rule(init, BifiRule::kSetHighHalf), init | 0xffffffff00000000ull);
+  EXPECT_EQ(apply_bifi_rule(init, BifiRule::kClearHighHalf), init & 0xffffffffull);
+  EXPECT_EQ(all_bifi_rules().size(), 5u);
+}
+
+TEST(BifiExploitability, ConstantKeystreamIsExploitable) {
+  std::vector<u32> z(16, 0xdeadbeef);
+  std::optional<snow3g::RecoveredSecrets> secrets;
+  EXPECT_TRUE(keystream_exploitable(z, &secrets));
+  EXPECT_FALSE(secrets.has_value());  // disabled output, but no key
+}
+
+TEST(BifiExploitability, LfsrStreamYieldsTheKey) {
+  const snow3g::Key k = {0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48};
+  const snow3g::Iv iv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+  snow3g::Snow3g faulted(k, iv, snow3g::FaultConfig::full_attack());
+  const std::vector<u32> z = faulted.keystream(16);
+  std::optional<snow3g::RecoveredSecrets> secrets;
+  ASSERT_TRUE(keystream_exploitable(z, &secrets));
+  ASSERT_TRUE(secrets.has_value());
+  EXPECT_EQ(secrets->key, k);
+}
+
+TEST(BifiExploitability, NormalKeystreamIsNot) {
+  snow3g::Snow3g clean({1, 2, 3, 4}, {5, 6, 7, 8});
+  EXPECT_FALSE(keystream_exploitable(clean.keystream(16), nullptr));
+  std::vector<u32> short_z(8, 0);
+  EXPECT_FALSE(keystream_exploitable(short_z, nullptr));
+}
+
+TEST(BifiCampaign, BoundedCampaignDoesNotRecoverTheKey) {
+  // The headline baseline result: single-LUT rule faults cannot linearize
+  // the 32-bit FSM word, so BiFI never reaches a key-recovering keystream.
+  const fpga::System sys = fpga::build_system();
+  DeviceOracle oracle(sys, {1, 2, 3, 4});
+  BifiOptions opt;
+  opt.max_configurations = 800;
+  const BifiResult res = run_bifi(oracle, sys.golden.bytes, opt);
+  EXPECT_FALSE(res.secrets.has_value());
+  EXPECT_LE(res.configurations, opt.max_configurations);
+  EXPECT_GT(res.configurations, 100u);
+  // Plenty of faults disturb the keystream — they are just not exploitable.
+  EXPECT_GT(res.interesting, 0u);
+}
+
+TEST(BifiCampaign, RespectsConfigurationBudget) {
+  const fpga::System sys = fpga::build_system();
+  DeviceOracle oracle(sys, {1, 2, 3, 4});
+  BifiOptions opt;
+  opt.max_configurations = 50;
+  const BifiResult res = run_bifi(oracle, sys.golden.bytes, opt);
+  EXPECT_LE(res.configurations, 50u);
+  EXPECT_LE(oracle.runs(), 51u);
+}
+
+}  // namespace
+}  // namespace sbm::attack

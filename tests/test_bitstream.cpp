@@ -1,0 +1,259 @@
+// Bitstream format tests: Table I coding, packet assembly/parsing, CRC
+// handling, LUT patching and the MAC-then-encrypt wrapper.
+#include <gtest/gtest.h>
+
+#include "bitstream/assembler.h"
+#include "bitstream/lut_coding.h"
+#include "bitstream/parser.h"
+#include "bitstream/patcher.h"
+#include "bitstream/secure.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+
+namespace sbm::bitstream {
+namespace {
+
+TEST(LutCoding, XiIsAPermutation) {
+  std::array<bool, 64> seen{};
+  for (const u8 p : xi_table()) {
+    EXPECT_LT(p, 64);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(LutCoding, XiMatchesTable1SpotRows) {
+  // Rows of the paper's Table I: F[i] -> B[xi(i)].
+  const auto& xi = xi_table();
+  EXPECT_EQ(xi[0], 63);   // a6..a1 = 000000
+  EXPECT_EQ(xi[1], 47);   // 000001
+  EXPECT_EQ(xi[8], 15);   // 001000
+  EXPECT_EQ(xi[31], 24);  // 011111
+  EXPECT_EQ(xi[32], 55);  // 100000
+  EXPECT_EQ(xi[62], 0);   // 111110
+  EXPECT_EQ(xi[63], 16);  // 111111
+}
+
+TEST(LutCoding, XiRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u64 f = rng.next_u64();
+    EXPECT_EQ(xi_inverse(xi_permute(f)), f);
+    EXPECT_EQ(xi_permute(xi_inverse(f)), f);
+  }
+}
+
+TEST(LutCoding, SubVectorOrders) {
+  EXPECT_EQ(chunk_order(mapper::SliceType::kSliceL), (std::array<u8, 4>{0, 1, 2, 3}));
+  EXPECT_EQ(chunk_order(mapper::SliceType::kSliceM), (std::array<u8, 4>{3, 2, 0, 1}));
+}
+
+TEST(LutCoding, EncodeDecodeRoundTrip) {
+  Rng rng(2);
+  for (const auto& order : device_chunk_orders()) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const u64 init = rng.next_u64();
+      EXPECT_EQ(decode_lut(encode_lut(init, order), order), init);
+    }
+  }
+}
+
+TEST(LutCoding, OrdersProduceDifferentLayouts) {
+  const u64 init = 0x0123456789abcdefull;
+  const auto l = encode_lut(init, chunk_order(mapper::SliceType::kSliceL));
+  const auto m = encode_lut(init, chunk_order(mapper::SliceType::kSliceM));
+  EXPECT_NE(l, m);
+}
+
+TEST(Format, PaperHeaderWords) {
+  EXPECT_EQ(type1_write(Reg::kFdri, 0), 0x30004000u);
+  EXPECT_EQ(type1_write(Reg::kCrc, 1), 0x30000001u);
+  EXPECT_EQ(type1_write(Reg::kCmd, 1), 0x30008001u);
+  EXPECT_EQ(type2_write(2432080), 0x50251C50u);  // the paper's example
+}
+
+TEST(Format, ConfigCrcResetsAndAccumulates) {
+  ConfigCrc a, b;
+  a.feed(Reg::kFdri, 0x12345678);
+  b.feed(Reg::kFdri, 0x12345678);
+  EXPECT_EQ(a.value(), b.value());
+  a.feed(Reg::kFdri, 1);
+  EXPECT_NE(a.value(), b.value());
+  a.reset();
+  b.reset();
+  EXPECT_EQ(a.value(), b.value());
+  // Register address participates in the CRC.
+  a.feed(Reg::kFdri, 7);
+  b.feed(Reg::kCmd, 7);
+  EXPECT_NE(a.value(), b.value());
+}
+
+class AssembledSystem : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { system_ = new fpga::System(fpga::build_system()); }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static fpga::System* system_;
+};
+fpga::System* AssembledSystem::system_ = nullptr;
+
+TEST_F(AssembledSystem, ParsesCleanly) {
+  const ParseResult res = parse_bitstream(system_->golden.bytes);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.crc_checked);
+  EXPECT_TRUE(res.desynced);
+  ASSERT_TRUE(res.idcode.has_value());
+  EXPECT_EQ(*res.idcode, kDeviceIdCode);
+  EXPECT_EQ(res.fdri_byte_offset, system_->golden.layout.fdri_byte_offset);
+  EXPECT_EQ(res.frame_data.size(), system_->golden.layout.frame_count * kFrameBytes);
+}
+
+TEST_F(AssembledSystem, LutInitsRoundTripThroughTheBitstream) {
+  const auto& layout = system_->golden.layout;
+  for (size_t site = 0; site < system_->placed.phys.size(); ++site) {
+    const u64 expect = system_->placed.init_of(site);
+    const auto order = chunk_order(system_->placed.slice_of(site));
+    const u64 got = read_lut_init(system_->golden.bytes, layout.site_byte_index(site),
+                                  Layout::chunk_stride(), order);
+    ASSERT_EQ(got, expect) << "site " << site;
+  }
+}
+
+TEST_F(AssembledSystem, KeyIsEmbeddedAtTheKeyFrame) {
+  const auto& layout = system_->golden.layout;
+  const u8* p = system_->golden.bytes.data() + layout.key_byte_index();
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(load_be32(p + 4 * w), system_->options.key[static_cast<size_t>(w)]);
+  }
+}
+
+TEST_F(AssembledSystem, CorruptionIsDetectedByCrc) {
+  auto bytes = system_->golden.bytes;
+  bytes[system_->golden.layout.fdri_byte_offset + 17] ^= 0x01;
+  const ParseResult res = parse_bitstream(bytes);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("CRC"), std::string::npos);
+}
+
+TEST_F(AssembledSystem, DisableCrcSkipsTheCheck) {
+  auto bytes = system_->golden.bytes;
+  bytes[system_->golden.layout.fdri_byte_offset + 17] ^= 0x01;
+  EXPECT_EQ(disable_crc(bytes), 1u);
+  const ParseResult res = parse_bitstream(bytes);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.crc_checked);
+}
+
+TEST_F(AssembledSystem, RecomputeCrcRepairsAModifiedStream) {
+  auto bytes = system_->golden.bytes;
+  bytes[system_->golden.layout.fdri_byte_offset + 17] ^= 0x01;
+  EXPECT_TRUE(recompute_crc(bytes));
+  const ParseResult res = parse_bitstream(bytes);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.crc_checked);
+}
+
+TEST_F(AssembledSystem, WriteLutInitPatchesExactlyOneSite) {
+  auto bytes = system_->golden.bytes;
+  const auto& layout = system_->golden.layout;
+  const auto order = chunk_order(system_->placed.slice_of(0));
+  const size_t l = layout.site_byte_index(0);
+  write_lut_init(bytes, l, Layout::chunk_stride(), order, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(read_lut_init(bytes, l, Layout::chunk_stride(), order), 0xdeadbeefcafef00dull);
+  // All other sites untouched.
+  for (size_t site = 1; site < std::min<size_t>(system_->placed.phys.size(), 50); ++site) {
+    const auto o = chunk_order(system_->placed.slice_of(site));
+    EXPECT_EQ(read_lut_init(bytes, layout.site_byte_index(site), Layout::chunk_stride(), o),
+              system_->placed.init_of(site));
+  }
+}
+
+TEST(Layout, SlotOffsetsSkipTheReservedWord) {
+  for (size_t slot = 0; slot < kSlotsPerGroup; ++slot) {
+    const size_t off = Layout::slot_offset(slot);
+    EXPECT_LT(off + 1, kFrameBytes);
+    EXPECT_FALSE(off >= 200 && off < 204) << "slot " << slot << " hits the HCLK word";
+  }
+  EXPECT_THROW(Layout::slot_offset(kSlotsPerGroup), std::out_of_range);
+}
+
+TEST(Parser, RejectsGarbage) {
+  const std::vector<u8> none(64, 0x00);
+  EXPECT_FALSE(parse_bitstream(none).ok);
+  std::vector<u8> misaligned(13, 0xff);
+  EXPECT_FALSE(parse_bitstream(misaligned).ok);
+}
+
+TEST(Parser, RejectsWrongIdcode) {
+  std::vector<u8> b;
+  append_word(b, kDummyWord);
+  append_word(b, kSyncWord);
+  append_word(b, type1_write(Reg::kIdcode, 1));
+  append_word(b, 0x11111111);
+  EXPECT_FALSE(parse_bitstream(b).ok);
+}
+
+TEST(Parser, RejectsTruncatedPacket) {
+  std::vector<u8> b;
+  append_word(b, kSyncWord);
+  append_word(b, type1_write(Reg::kCmd, 5));  // promises 5 words, provides 0
+  EXPECT_FALSE(parse_bitstream(b).ok);
+}
+
+TEST(Secure, ProtectUnprotectRoundTrip) {
+  crypto::Aes256Key ke{};
+  ke[5] = 0xab;
+  AuthKey ka{};
+  ka[0] = 0x11;
+  ka[31] = 0x99;
+  crypto::AesBlock iv{};
+  iv[3] = 7;
+  std::vector<u8> plain(777);
+  Rng rng(3);
+  for (auto& b : plain) b = static_cast<u8>(rng.next_u64());
+
+  const std::vector<u8> enc = protect_bitstream(plain, ke, ka, iv);
+  const UnprotectResult res = unprotect_bitstream(enc, ke);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.plain, plain);
+  EXPECT_EQ(res.k_a, ka);
+}
+
+TEST(Secure, WrongKeFails) {
+  crypto::Aes256Key ke{}, wrong{};
+  wrong[0] = 1;
+  const std::vector<u8> enc = protect_bitstream(std::vector<u8>(100, 0x42), ke, {}, {});
+  EXPECT_FALSE(unprotect_bitstream(enc, wrong).ok);
+}
+
+TEST(Secure, TamperingBreaksHmac) {
+  crypto::Aes256Key ke{};
+  std::vector<u8> enc = protect_bitstream(std::vector<u8>(100, 0x42), ke, {}, {});
+  enc[60] ^= 0x80;  // flip a ciphertext bit inside the payload
+  const UnprotectResult res = unprotect_bitstream(enc, ke);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Secure, AttackerCanReMacAfterPatching) {
+  // The full Fig. 1 attack flow: decrypt with the side-channel-recovered
+  // K_E, read K_A, patch, re-MAC, re-encrypt; the device must accept it.
+  crypto::Aes256Key ke{};
+  ke[1] = 0x77;
+  AuthKey ka{};
+  ka[8] = 0x33;
+  std::vector<u8> plain(256, 0x5a);
+  const std::vector<u8> enc = protect_bitstream(plain, ke, ka, {});
+
+  UnprotectResult stolen = unprotect_bitstream(enc, ke);
+  ASSERT_TRUE(stolen.ok);
+  stolen.plain[100] ^= 0xff;  // malicious modification
+  const std::vector<u8> reenc = protect_bitstream(stolen.plain, ke, stolen.k_a, {});
+  const UnprotectResult accepted = unprotect_bitstream(reenc, ke);
+  ASSERT_TRUE(accepted.ok);
+  EXPECT_EQ(accepted.plain[100], static_cast<u8>(0x5a ^ 0xff));
+}
+
+}  // namespace
+}  // namespace sbm::bitstream

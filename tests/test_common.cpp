@@ -1,0 +1,116 @@
+// Unit tests for the common bit/hex/rng utilities.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace sbm {
+namespace {
+
+TEST(Bits, BitOfExtractsEachPosition) {
+  const u64 w = 0x8000000000000001ull;
+  EXPECT_EQ(bit_of(w, 0), 1u);
+  EXPECT_EQ(bit_of(w, 1), 0u);
+  EXPECT_EQ(bit_of(w, 63), 1u);
+}
+
+TEST(Bits, WithBitSetsAndClears) {
+  u64 w = 0;
+  w = with_bit(w, 5, 1);
+  EXPECT_EQ(w, 32u);
+  w = with_bit(w, 5, 0);
+  EXPECT_EQ(w, 0u);
+  // Setting an already-set bit is idempotent.
+  w = with_bit(with_bit(w, 17, 1), 17, 1);
+  EXPECT_EQ(bit_of(w, 17), 1u);
+}
+
+TEST(Bits, MsbByteOrdering) {
+  const u32 w = 0x12345678u;
+  EXPECT_EQ(msb_byte(w, 0), 0x12);
+  EXPECT_EQ(msb_byte(w, 1), 0x34);
+  EXPECT_EQ(msb_byte(w, 2), 0x56);
+  EXPECT_EQ(msb_byte(w, 3), 0x78);
+  EXPECT_EQ(from_msb_bytes(0x12, 0x34, 0x56, 0x78), w);
+}
+
+TEST(Bits, BigEndianRoundTrip32) {
+  u8 buf[4];
+  store_be32(buf, 0xdeadbeefu);
+  EXPECT_EQ(buf[0], 0xde);
+  EXPECT_EQ(buf[3], 0xef);
+  EXPECT_EQ(load_be32(buf), 0xdeadbeefu);
+}
+
+TEST(Bits, BigEndianRoundTrip64) {
+  u8 buf[8];
+  store_be64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefull);
+}
+
+TEST(Bits, Parity32) {
+  EXPECT_EQ(parity32(0), 0u);
+  EXPECT_EQ(parity32(1), 1u);
+  EXPECT_EQ(parity32(3), 0u);
+  EXPECT_EQ(parity32(0xffffffffu), 0u);
+  EXPECT_EQ(parity32(0x7fffffffu), 1u);
+}
+
+TEST(Hex, FormatsPaperStyle) {
+  EXPECT_EQ(hex32(0xa1fb4788u), "a1fb4788");
+  EXPECT_EQ(hex32(0), "00000000");
+  EXPECT_EQ(hex32(0xffffffffu), "ffffffff");
+}
+
+TEST(Hex, Parse32RoundTrip) {
+  for (u32 w : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0x00000080u}) {
+    EXPECT_EQ(parse_hex32(hex32(w)), w);
+  }
+}
+
+TEST(Hex, Parse32RejectsBadInput) {
+  EXPECT_THROW(parse_hex32("123"), std::invalid_argument);
+  EXPECT_THROW(parse_hex32("123456789"), std::invalid_argument);
+  EXPECT_THROW(parse_hex32("1234567g"), std::invalid_argument);
+}
+
+TEST(Hex, BytesRoundTrip) {
+  const std::vector<u8> bytes = {0x00, 0xff, 0x12, 0xab};
+  EXPECT_EQ(hex_bytes(bytes), "00ff12ab");
+  EXPECT_EQ(parse_hex_bytes("00ff12ab"), bytes);
+  EXPECT_THROW(parse_hex_bytes("abc"), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, BitsLookBalanced) {
+  Rng rng(123);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) ones += rng.next_bool() ? 1 : 0;
+  EXPECT_GT(ones, kSamples / 2 - 500);
+  EXPECT_LT(ones, kSamples / 2 + 500);
+}
+
+}  // namespace
+}  // namespace sbm

@@ -1,0 +1,186 @@
+// Countermeasure tests (Section VII): half-table searching, the collapse of
+// Table II candidates on the protected bitstream (Table VI), and the
+// combinatorial security bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "attack/countermeasure.h"
+#include "attack/scan.h"
+#include "bitstream/patcher.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+
+namespace sbm::attack {
+namespace {
+
+using logic::TruthTable6;
+
+TEST(HalfSearch, FindsAPlantedXorHalf) {
+  // Build a dual table: low half = a2 ^ a4, high half = arbitrary.
+  const TruthTable6 x = TruthTable6::var(1) ^ TruthTable6::var(3);
+  const u64 init = u64{x.half(0)} | (0xdeadbeefull << 32);
+  FindLutOptions opt;
+  opt.offset_d = 101;
+  std::vector<u8> bytes(1024, 0);
+  bitstream::write_lut_init(bytes, 40, opt.offset_d, bitstream::device_chunk_orders()[0], init);
+  const auto hits = find_xor2_halves(bytes, opt);
+  ASSERT_FALSE(hits.empty());
+  bool found = false;
+  for (const auto& h : hits) found = found || (h.byte_index == 40 && h.o5_half);
+  EXPECT_TRUE(found);
+}
+
+TEST(HalfSearch, FindsHighHalfToo) {
+  const TruthTable6 x = TruthTable6::var(0) ^ TruthTable6::var(2);
+  const u64 init = 0x13577531ull | (u64{x.half(0)} << 32);
+  FindLutOptions opt;
+  opt.offset_d = 101;
+  std::vector<u8> bytes(1024, 0);
+  bitstream::write_lut_init(bytes, 8, opt.offset_d, bitstream::device_chunk_orders()[1], init);
+  const auto hits = find_xor2_halves(bytes, opt);
+  bool found = false;
+  for (const auto& h : hits) found = found || (h.byte_index == 8 && !h.o5_half);
+  EXPECT_TRUE(found);
+}
+
+TEST(HalfSearch, RangeConstraintLimitsHits) {
+  const TruthTable6 x = TruthTable6::var(0) ^ TruthTable6::var(1);
+  FindLutOptions opt;
+  opt.offset_d = 101;
+  std::vector<u8> bytes(2048, 0);
+  const u64 init = u64{x.half(0)} | (u64{x.half(0)} << 32);
+  bitstream::write_lut_init(bytes, 10, opt.offset_d, bitstream::device_chunk_orders()[0], init);
+  bitstream::write_lut_init(bytes, 1200, opt.offset_d, bitstream::device_chunk_orders()[0],
+                            init);
+  auto positions = [](const std::vector<HalfMatch>& hits) {
+    std::set<size_t> out;
+    for (const auto& h : hits) out.insert(h.byte_index);
+    return out;
+  };
+  // Both planted positions appear unconstrained; the range constraint (the
+  // paper's frame-limited search) keeps only positions inside the window.
+  EXPECT_TRUE(positions(find_xor2_halves(bytes, opt)).count(10));
+  EXPECT_TRUE(positions(find_xor2_halves(bytes, opt)).count(1200));
+  const auto lo = positions(find_xor2_halves(bytes, opt, 0, 600));
+  EXPECT_TRUE(lo.count(10));
+  for (const size_t l : lo) EXPECT_LT(l, 600u);
+  const auto hi = positions(find_xor2_halves(bytes, opt, 600));
+  EXPECT_TRUE(hi.count(1200));
+  for (const size_t l : hi) EXPECT_GE(l, 600u);
+}
+
+TEST(HalfSearch, PermuteHalf5MatchesFullPermute) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const u32 half = rng.next_u32();
+    const logic::InputPermutation perm = {2, 0, 4, 1, 3, 5};
+    const TruthTable6 full(u64{half} | (u64{half} << 32));
+    EXPECT_EQ(permute_half5(half, perm), full.permuted(perm).half(0));
+  }
+}
+
+TEST(Complexity, PaperBinomial171Choose32) {
+  // Section VII-C: C(171, 32) ~ 4.9e34 ~ 2^115.
+  EXPECT_NEAR(log2_binomial(171, 32), 115.25, 0.5);
+  EXPECT_NEAR(std::exp2(log2_binomial(171, 32) - 115.0), 1.19, 0.5);
+}
+
+TEST(Complexity, BinomialEdgeCases) {
+  EXPECT_DOUBLE_EQ(log2_binomial(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_binomial(10, 10), 0.0);
+  EXPECT_NEAR(log2_binomial(4, 2), std::log2(6.0), 1e-9);
+  EXPECT_EQ(log2_binomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Complexity, LemmaBoundDominatesBinomial) {
+  // Lemma 1: C(m+r, m) <= (e(m+r)/m)^m.
+  for (unsigned m : {8u, 16u, 32u}) {
+    for (unsigned r : {32u, 96u, 160u}) {
+      EXPECT_GE(log2_lemma_bound(m, r), log2_binomial(m + r, m) - 1e-6);
+    }
+  }
+}
+
+TEST(Complexity, PaperDecoyRatio) {
+  // Section VII-A: x >= 16/e - 1 ~ 4.886 for m = 32 and 128-bit security.
+  EXPECT_NEAR(min_decoy_ratio(32, 128.0), 16.0 / std::exp(1.0) - 1.0, 1e-9);
+  EXPECT_NEAR(min_decoy_ratio(32, 128.0), 4.886, 0.01);
+  // And the implemented design uses x = 5, which clears the bound.
+  EXPECT_GT(5.0, min_decoy_ratio(32, 128.0));
+  EXPECT_GE(log2_lemma_bound(32, 5 * 32), 128.0);
+}
+
+// ---- protected-system scans (Table VI analog) ------------------------------
+
+class ProtectedScan : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fpga::SystemOptions opt;
+    opt.protected_variant = true;
+    protected_ = new fpga::System(fpga::build_system(opt));
+    plain_ = new fpga::System(fpga::build_system());
+  }
+  static void TearDownTestSuite() {
+    delete protected_;
+    delete plain_;
+    protected_ = nullptr;
+    plain_ = nullptr;
+  }
+  static fpga::System* protected_;
+  static fpga::System* plain_;
+};
+fpga::System* ProtectedScan::protected_ = nullptr;
+fpga::System* ProtectedScan::plain_ = nullptr;
+
+TEST_F(ProtectedScan, FeedbackCandidatesCollapseToZero) {
+  // Table VI: every feedback-path candidate of Table II returns n = 0 on
+  // the protected bitstream.
+  for (const auto& fc : scan_family(protected_->golden.bytes, logic::table2_family())) {
+    if (fc.candidate.path == logic::TargetPath::kFeedback) {
+      EXPECT_EQ(fc.count(), 0u) << fc.candidate.name;
+    }
+  }
+}
+
+TEST_F(ProtectedScan, NoKeystreamCandidateReaches32) {
+  // The z-path LUT1 population disappears as whole-table matches too.
+  for (const auto& fc : scan_family(protected_->golden.bytes, logic::table2_family())) {
+    if (fc.candidate.path == logic::TargetPath::kKeystream) {
+      EXPECT_LT(fc.count(), 32u) << fc.candidate.name;
+    }
+  }
+}
+
+TEST_F(ProtectedScan, Xor2HalfCandidatesExplode) {
+  // Section VII-B: the only remaining handle is "2-input XOR in one half",
+  // and the countermeasure floods it: 32 targets + 160 decoys + natural
+  // XOR2 covers.
+  const auto prot = find_xor2_halves(protected_->golden.bytes);
+  EXPECT_GE(prot.size(), 192u);
+  // Exhaustively selecting the 32 targets among the (unprunable) candidates
+  // costs at least C(n - 32, 32) tries; it must land beyond 2^80.
+  const double log2_tries =
+      log2_binomial(static_cast<unsigned>(prot.size()) - 32, 32);
+  EXPECT_GE(log2_tries, 80.0);
+}
+
+TEST_F(ProtectedScan, TargetsAreHiddenAmongTheXorHalves) {
+  // Every true target LUT is one of the XOR2-half candidates — present but
+  // indistinguishable.
+  const auto truth = protected_->target_luts();
+  std::set<size_t> hits;
+  for (const auto& h : find_xor2_halves(protected_->golden.bytes)) hits.insert(h.byte_index);
+  size_t covered = 0;
+  std::set<size_t> target_positions;
+  for (const auto& t : truth) {
+    const auto& lut = protected_->mapped.luts[t.lut_index];
+    if (lut.root != protected_->design.target_v[t.bit]) continue;  // trivial-cut LUT only
+    if (target_positions.insert(t.byte_index).second) covered += hits.count(t.byte_index);
+  }
+  EXPECT_EQ(covered, target_positions.size());
+}
+
+}  // namespace
+}  // namespace sbm::attack

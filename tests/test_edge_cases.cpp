@@ -1,0 +1,159 @@
+// Cross-module edge cases and invariants not covered by the per-module
+// suites: fault-model algebra, timing-model knobs, oracle accounting,
+// assembler geometry limits, and candidate-family interactions.
+#include <gtest/gtest.h>
+
+#include "attack/oracle.h"
+#include "attack/scan.h"
+#include "bitstream/assembler.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+#include "mapper/sta.h"
+#include "snow3g/reverse.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm {
+namespace {
+
+TEST(FaultAlgebra, FullMaskEqualsKeyIndependentTable3) {
+  // FaultConfig::key_independent() == zero-load + all-bits feedback cut.
+  snow3g::Snow3g a({1, 2, 3, 4}, {5, 6, 7, 8}, snow3g::FaultConfig::key_independent());
+  snow3g::Snow3g b({9, 9, 9, 9}, {0, 0, 0, 0}, {0xffffffffu, false, true});
+  EXPECT_EQ(a.keystream(16), b.keystream(16));
+}
+
+TEST(FaultAlgebra, UnionOfSingleBitCutsEqualsFullCut) {
+  // Cutting bits {0..31} one mask is the same as the full 32-bit cut.
+  const snow3g::Key k = {0xaaaa5555, 0x12345678, 0x9abcdef0, 0x0f0f0f0f};
+  const snow3g::Iv iv = {1, 2, 3, 4};
+  snow3g::Snow3g full(k, iv, {0xffffffffu, true, false});
+  u32 mask = 0;
+  for (int i = 0; i < 32; ++i) mask |= 1u << i;
+  snow3g::Snow3g built(k, iv, {mask, true, false});
+  EXPECT_EQ(full.keystream(16), built.keystream(16));
+}
+
+TEST(FaultAlgebra, FaultyKeystreamIsShiftedLfsrState) {
+  // With the full fault, consecutive keystream words walk the state: word
+  // t+1 of one run equals word t of the state advanced by one step.
+  const snow3g::Key k = {0x13572468, 0xfeedbeef, 0x0, 0xffffffff};
+  const snow3g::Iv iv = {4, 3, 2, 1};
+  snow3g::Snow3g cipher(k, iv, snow3g::FaultConfig::full_attack());
+  const std::vector<u32> z = cipher.keystream(17);
+  snow3g::LfsrState s = snow3g::state_from_faulty_keystream(std::span(z).subspan(0, 16), 0);
+  s = snow3g::lfsr_forward(s);
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], z[static_cast<size_t>(i) + 1]);
+}
+
+TEST(TimingModel, KnobsScaleTheReport) {
+  auto design = netlist::build_snow3g_design();
+  const mapper::LutNetwork mapped = mapper::map_network(design.net);
+  mapper::TimingModel slow;
+  slow.lut_delay_ns *= 2;
+  slow.net_delay_ns *= 2;
+  slow.bram_delay_ns *= 2;
+  slow.carry_delay_ns *= 2;
+  const auto a = mapper::run_sta(design.net, mapped);
+  const auto b = mapper::run_sta(design.net, mapped, slow);
+  EXPECT_GT(b.critical_delay_ns, a.critical_delay_ns);
+}
+
+TEST(Oracle, CountsEveryRunIncludingRejections) {
+  const fpga::System sys = fpga::build_system();
+  attack::DeviceOracle oracle(sys, {1, 2, 3, 4});
+  EXPECT_EQ(oracle.runs(), 0u);
+  EXPECT_TRUE(oracle.run(sys.golden.bytes, 4).has_value());
+  auto corrupt = sys.golden.bytes;
+  corrupt[sys.golden.layout.fdri_byte_offset] ^= 1;
+  EXPECT_FALSE(oracle.run(corrupt, 4).has_value());
+  EXPECT_EQ(oracle.runs(), 2u);
+}
+
+TEST(Oracle, KeystreamDependsOnOracleIv) {
+  const fpga::System sys = fpga::build_system();
+  attack::DeviceOracle a(sys, {1, 2, 3, 4});
+  attack::DeviceOracle b(sys, {4, 3, 2, 1});
+  EXPECT_NE(a.run(sys.golden.bytes, 8), b.run(sys.golden.bytes, 8));
+}
+
+TEST(AssemblerGeometry, LayoutScalesWithSiteCount) {
+  // Small and large designs produce consistent geometry.
+  fpga::SystemOptions opt;
+  const fpga::System sys = fpga::build_system(opt);
+  const auto& layout = sys.golden.layout;
+  EXPECT_EQ(layout.frame_count,
+            layout.groups() * bitstream::kFramesPerGroup + 1);  // + key frame
+  EXPECT_EQ(layout.site_byte_index(0), layout.fdri_byte_offset);
+  // Sites within one group share the group's frame span.
+  if (layout.site_count > 1) {
+    EXPECT_EQ(layout.site_byte_index(1) - layout.site_byte_index(0), 2u);
+  }
+  EXPECT_THROW(layout.site_byte_index(layout.site_count), std::out_of_range);
+}
+
+TEST(AssemblerGeometry, KeyFrameIsLast) {
+  const fpga::System sys = fpga::build_system();
+  const auto& layout = sys.golden.layout;
+  EXPECT_EQ(layout.key_byte_index(),
+            layout.fdri_byte_offset + (layout.frame_count - 1) * bitstream::kFrameBytes);
+  EXPECT_LT(layout.key_byte_index() + 16, sys.golden.bytes.size());
+}
+
+TEST(Families, AttackFamilyCoversBothPaths) {
+  size_t keystream = 0, feedback = 0;
+  for (const auto& c : attack::attack_family()) {
+    (c.path == logic::TargetPath::kKeystream ? keystream : feedback)++;
+  }
+  EXPECT_GE(keystream, 7u);   // at least the Table II z-path entries
+  EXPECT_GE(feedback, 14u);   // Table II feedback entries plus extensions
+}
+
+TEST(Families, MuxScanFamilyContainsPaperShapesAndFolds) {
+  bool has_mux2 = false, has_fold = false;
+  for (const auto& c : attack::mux_scan_family()) {
+    has_mux2 = has_mux2 || c.function == logic::f_mux2();
+    has_fold = has_fold || c.name.rfind("mux_fold", 0) == 0;
+    EXPECT_EQ(c.sel_var, 0) << c.name;
+  }
+  EXPECT_TRUE(has_mux2);
+  EXPECT_TRUE(has_fold);
+}
+
+TEST(Reverse, StateFromKeystreamStepsParameter) {
+  Rng rng(7);
+  std::vector<u32> z;
+  for (int i = 0; i < 16; ++i) z.push_back(rng.next_u32());
+  // steps = 0 is the identity embedding.
+  const snow3g::LfsrState s0 = snow3g::state_from_faulty_keystream(z, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s0[static_cast<size_t>(i)], z[static_cast<size_t>(i)]);
+  // steps = k then forward k returns the embedding.
+  snow3g::LfsrState s = snow3g::state_from_faulty_keystream(z, 5);
+  for (int i = 0; i < 5; ++i) s = snow3g::lfsr_forward(s);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], z[static_cast<size_t>(i)]);
+}
+
+TEST(Device, Reconfiguration) {
+  // A device can be reconfigured with a different bitstream; the last load
+  // wins, like a real SRAM part.
+  fpga::SystemOptions a, b;
+  b.key = {0x11112222, 0x33334444, 0x55556666, 0x77778888};
+  const fpga::System sys_a = fpga::build_system(a);
+  const fpga::System sys_b = fpga::build_system(b);
+  fpga::Device dev = sys_a.make_device();
+  ASSERT_TRUE(dev.configure(sys_a.golden.bytes));
+  EXPECT_EQ(dev.loaded_key(), a.key);
+  ASSERT_TRUE(dev.configure(sys_b.golden.bytes));  // same geometry, new key
+  EXPECT_EQ(dev.loaded_key(), b.key);
+}
+
+TEST(Device, KeystreamIsRepeatable) {
+  const fpga::System sys = fpga::build_system();
+  fpga::Device dev = sys.make_device();
+  ASSERT_TRUE(dev.configure(sys.golden.bytes));
+  const snow3g::Iv iv = {10, 20, 30, 40};
+  EXPECT_EQ(dev.keystream(iv, 8), dev.keystream(iv, 8));
+  EXPECT_NE(dev.keystream(iv, 8), dev.keystream({11, 20, 30, 40}, 8));
+}
+
+}  // namespace
+}  // namespace sbm

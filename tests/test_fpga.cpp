@@ -1,0 +1,137 @@
+// Device-model tests: configuration from (modified) bitstreams and
+// keystream equivalence with the software reference.
+#include <gtest/gtest.h>
+
+#include "bitstream/patcher.h"
+#include "bitstream/secure.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::fpga {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { system_ = new System(build_system()); }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static System* system_;
+};
+System* DeviceTest::system_ = nullptr;
+
+TEST_F(DeviceTest, ConfiguresFromGoldenBitstream) {
+  Device dev = system_->make_device();
+  EXPECT_FALSE(dev.configured());
+  ASSERT_TRUE(dev.configure(system_->golden.bytes)) << dev.error();
+  EXPECT_TRUE(dev.configured());
+  EXPECT_EQ(dev.loaded_key(), system_->options.key);
+}
+
+TEST_F(DeviceTest, KeystreamMatchesSoftwareModel) {
+  Device dev = system_->make_device();
+  ASSERT_TRUE(dev.configure(system_->golden.bytes));
+  Rng rng(1);
+  for (int trial = 0; trial < 3; ++trial) {
+    const snow3g::Iv iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    snow3g::Snow3g ref(system_->options.key, iv);
+    EXPECT_EQ(dev.keystream(iv, 10), ref.keystream(10));
+  }
+}
+
+TEST_F(DeviceTest, RejectsCorruptBitstream) {
+  auto bytes = system_->golden.bytes;
+  bytes[system_->golden.layout.fdri_byte_offset + 2] ^= 0x04;
+  Device dev = system_->make_device();
+  EXPECT_FALSE(dev.configure(bytes));
+  EXPECT_FALSE(dev.error().empty());
+  EXPECT_THROW(dev.keystream({}, 1), std::logic_error);
+}
+
+TEST_F(DeviceTest, AcceptsCrcDisabledModifiedBitstream) {
+  auto bytes = system_->golden.bytes;
+  bitstream::disable_crc(bytes);
+  bytes[system_->golden.layout.fdri_byte_offset + 2] ^= 0x04;
+  Device dev = system_->make_device();
+  EXPECT_TRUE(dev.configure(bytes)) << dev.error();
+}
+
+TEST_F(DeviceTest, PatchedLutChangesBehaviorPredictably) {
+  // Zero a z-path LUT and check exactly that keystream bit dies — the
+  // paper's verification step (Section VI-C.1), from the defender's side.
+  const auto truth = system_->target_luts();
+  const snow3g::Iv iv = {0x11111111, 0x22222222, 0x33333333, 0x44444444};
+  Device clean = system_->make_device();
+  ASSERT_TRUE(clean.configure(system_->golden.bytes));
+  const std::vector<u32> golden = clean.keystream(iv, 12);
+
+  for (const auto& t : truth) {
+    if (!t.on_z_path) continue;
+    auto bytes = system_->golden.bytes;
+    bitstream::disable_crc(bytes);
+    const auto order = bitstream::chunk_order(
+        system_->placed.slice_of(system_->placed.site_of_lut(t.lut_index).phys_index));
+    bitstream::write_lut_init(bytes, t.byte_index, bitstream::Layout::chunk_stride(), order, 0);
+    Device dev = system_->make_device();
+    ASSERT_TRUE(dev.configure(bytes));
+    const std::vector<u32> z = dev.keystream(iv, 12);
+    for (size_t w = 0; w < z.size(); ++w) {
+      EXPECT_EQ(z[w], golden[w] & ~(1u << t.bit)) << "word " << w << " bit " << t.bit;
+    }
+    break;  // one representative z-path LUT suffices here
+  }
+}
+
+TEST_F(DeviceTest, GroundTruthCoversAllBitsOnBothPaths) {
+  const auto truth = system_->target_luts();
+  std::array<bool, 32> z_bits{}, fb_bits{};
+  for (const auto& t : truth) (t.on_z_path ? z_bits : fb_bits)[t.bit] = true;
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_TRUE(z_bits[i]) << "z bit " << i;
+    EXPECT_TRUE(fb_bits[i]) << "feedback bit " << i;
+  }
+}
+
+TEST_F(DeviceTest, EncryptedConfigurationRoundTrip) {
+  crypto::Aes256Key ke{};
+  ke[0] = 0xAA;
+  bitstream::AuthKey ka{};
+  ka[7] = 0x42;
+  const auto enc = bitstream::protect_bitstream(system_->golden.bytes, ke, ka, {});
+  Device dev = system_->make_device();
+  ASSERT_TRUE(dev.configure_encrypted(enc, ke)) << dev.error();
+  const snow3g::Iv iv{};
+  snow3g::Snow3g ref(system_->options.key, iv);
+  EXPECT_EQ(dev.keystream(iv, 4), ref.keystream(4));
+  // Wrong decryption key: rejected.
+  crypto::Aes256Key wrong{};
+  Device dev2 = system_->make_device();
+  EXPECT_FALSE(dev2.configure_encrypted(enc, wrong));
+}
+
+TEST(SystemBuild, DifferentKeysGiveDifferentBitstreams) {
+  SystemOptions a, b;
+  b.key = {1, 2, 3, 4};
+  const System sa = build_system(a);
+  const System sb = build_system(b);
+  EXPECT_NE(sa.golden.bytes, sb.golden.bytes);
+  Device db = sb.make_device();
+  ASSERT_TRUE(db.configure(sb.golden.bytes));
+  EXPECT_EQ(db.loaded_key(), b.key);
+}
+
+TEST(SystemBuild, ProtectedSystemStillFunctionallyCorrect) {
+  SystemOptions opt;
+  opt.protected_variant = true;
+  const System sys = build_system(opt);
+  Device dev = sys.make_device();
+  ASSERT_TRUE(dev.configure(sys.golden.bytes)) << dev.error();
+  const snow3g::Iv iv = {5, 6, 7, 8};
+  snow3g::Snow3g ref(opt.key, iv);
+  EXPECT_EQ(dev.keystream(iv, 8), ref.keystream(8));
+}
+
+}  // namespace
+}  // namespace sbm::fpga

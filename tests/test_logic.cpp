@@ -1,0 +1,247 @@
+// Truth-table algebra, P-equivalence and candidate-family tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "logic/families.h"
+#include "logic/truth_table.h"
+
+namespace sbm::logic {
+namespace {
+
+using TT = TruthTable6;
+
+TT a(unsigned i) { return TT::var(i - 1); }
+
+TEST(TruthTable, VarProjections) {
+  for (unsigned v = 0; v < 6; ++v) {
+    for (unsigned i = 0; i < 64; ++i) {
+      EXPECT_EQ(TT::var(v).eval(i), bit_of(i, v));
+    }
+  }
+}
+
+TEST(TruthTable, OperatorsMatchBitwiseSemantics) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TT f(rng.next_u64()), g(rng.next_u64());
+    for (unsigned i = 0; i < 64; ++i) {
+      EXPECT_EQ((f & g).eval(i), f.eval(i) & g.eval(i));
+      EXPECT_EQ((f | g).eval(i), f.eval(i) | g.eval(i));
+      EXPECT_EQ((f ^ g).eval(i), f.eval(i) ^ g.eval(i));
+      EXPECT_EQ((~f).eval(i), f.eval(i) ^ 1u);
+    }
+  }
+}
+
+TEST(TruthTable, PermutedEvaluatesReorderedInputs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TT f(rng.next_u64());
+    for (const auto& perm : {InputPermutation{1, 0, 2, 3, 4, 5},
+                             InputPermutation{5, 4, 3, 2, 1, 0},
+                             InputPermutation{2, 0, 1, 5, 3, 4}}) {
+      const TT g = f.permuted(perm);
+      for (unsigned i = 0; i < 64; ++i) {
+        unsigned j = 0;
+        for (unsigned k = 0; k < 6; ++k) j |= bit_of(i, perm[k]) << k;
+        EXPECT_EQ(g.eval(i), f.eval(j));
+      }
+    }
+  }
+}
+
+TEST(TruthTable, PermutationComposition) {
+  Rng rng(3);
+  const TT f(rng.next_u64());
+  const InputPermutation p = {2, 0, 1, 4, 5, 3};
+  const InputPermutation q = {1, 2, 0, 5, 3, 4};
+  // Applying p then q equals applying the composed permutation r[k] = p[q[k]].
+  InputPermutation r{};
+  for (unsigned k = 0; k < 6; ++k) r[k] = p[q[k]];
+  EXPECT_EQ(f.permuted(p).permuted(q), f.permuted(r));
+}
+
+TEST(TruthTable, IdentityPermutationIsNoop) {
+  Rng rng(4);
+  const InputPermutation id = {0, 1, 2, 3, 4, 5};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TT f(rng.next_u64());
+    EXPECT_EQ(f.permuted(id), f);
+  }
+}
+
+TEST(TruthTable, ShannonExpansion) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TT f(rng.next_u64());
+    for (unsigned v = 0; v < 6; ++v) {
+      const TT expanded =
+          (TT::var(v) & f.cofactor(v, 1)) | (~TT::var(v) & f.cofactor(v, 0));
+      EXPECT_EQ(expanded, f);
+      EXPECT_FALSE(f.cofactor(v, 0).depends_on(v));
+      EXPECT_FALSE(f.cofactor(v, 1).depends_on(v));
+    }
+  }
+}
+
+TEST(TruthTable, SupportOfKnownFunctions) {
+  EXPECT_EQ((a(1) ^ a(2)).support_size(), 2u);
+  EXPECT_EQ((a(1) & a(2) & a(6)).support_size(), 3u);
+  EXPECT_EQ(TT::zero().support_size(), 0u);
+  EXPECT_EQ(TT::one().support_size(), 0u);
+  EXPECT_TRUE((a(3)).depends_on(2));
+  EXPECT_FALSE((a(3)).depends_on(0));
+}
+
+TEST(TruthTable, PClassOfXor2) {
+  // a1^a2 has C(6,2) = 15 distinct tables in its P class.
+  EXPECT_EQ(p_class(a(1) ^ a(2)).size(), 15u);
+}
+
+TEST(TruthTable, PClassOfXor6IsSingleton) {
+  const TT x6 = a(1) ^ a(2) ^ a(3) ^ a(4) ^ a(5) ^ a(6);
+  EXPECT_EQ(p_class(x6).size(), 1u);
+}
+
+TEST(TruthTable, PEquivalenceIsSymmetricOnPermutedPairs) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TT f(rng.next_u64());
+    const TT g = f.permuted({3, 1, 4, 0, 5, 2});
+    EXPECT_TRUE(p_equivalent(f, g));
+    EXPECT_TRUE(p_equivalent(g, f));
+    EXPECT_EQ(p_canonical(f), p_canonical(g));
+  }
+}
+
+TEST(TruthTable, PInequivalentFunctions) {
+  EXPECT_FALSE(p_equivalent(a(1) & a(2), a(1) | a(2)));
+  EXPECT_FALSE(p_equivalent(a(1) ^ a(2), a(1) ^ a(2) ^ a(3)));
+}
+
+TEST(TruthTable, HalfIsXor2) {
+  const TT x = a(1) ^ a(4);
+  EXPECT_TRUE(half_is_xor2(x.half(0)));
+  EXPECT_TRUE(half_is_xor2(x.half(1)));
+  EXPECT_FALSE(half_is_xor2((a(1) & a(2)).half(0)));
+  EXPECT_FALSE(half_is_xor2((~(a(1) ^ a(2))).half(0)));
+  EXPECT_TRUE(half_is_xor2((~(a(1) ^ a(2))).half(0), /*allow_complement=*/true));
+}
+
+TEST(TruthTable, ToStringIsMsbFirstHex) {
+  EXPECT_EQ(TT::zero().to_string(), "0000000000000000");
+  EXPECT_EQ(TT(0x00000000000000ffull).to_string(), "00000000000000ff");
+}
+
+// --- candidate families ----------------------------------------------------
+
+TEST(Families, Table2HasTwentyOneCandidates) {
+  EXPECT_EQ(table2_family().size(), 21u);
+  EXPECT_EQ(table2_candidate("f2").formula, "(a1^a2^a3) a4 a5 ~a6");
+  EXPECT_THROW(table2_candidate("f99"), std::out_of_range);
+}
+
+TEST(Families, Table2FunctionsMatchFormulas) {
+  // Spot-check the exact truth tables against independently built formulas.
+  EXPECT_EQ(table2_candidate("f2").function, (a(1) ^ a(2) ^ a(3)) & a(4) & a(5) & ~a(6));
+  EXPECT_EQ(table2_candidate("f8").function,
+            ((a(1) ^ a(2)) & ~a(3) & a(4) & a(5)) ^ a(6));
+  EXPECT_EQ(table2_candidate("f19").function, ((a(1) ^ a(2)) & ~a(4)) ^ (a(3) & a(6)));
+}
+
+TEST(Families, Table2PathsSplitAtF8) {
+  const auto& fam = table2_family();
+  for (size_t i = 0; i < fam.size(); ++i) {
+    EXPECT_EQ(fam[i].path, i < 7 ? TargetPath::kKeystream : TargetPath::kFeedback) << i;
+  }
+}
+
+TEST(Families, Equation1Rewrites) {
+  // Eq. (1) of the paper: f8 -> a6 and f19 -> a3 a6 under v = 0.
+  EXPECT_EQ(table2_candidate("f8").stuck_at0_rewrite(), f8_alpha());
+  EXPECT_EQ(f8_alpha(), a(6));
+  EXPECT_EQ(table2_candidate("f19").stuck_at0_rewrite(), f19_alpha());
+  EXPECT_EQ(f19_alpha(), a(3) & a(6));
+}
+
+TEST(Families, F2Alpha2KeepsTheThirdInput) {
+  EXPECT_EQ(f2_alpha2(1, 2), a(3) & a(4) & a(5) & ~a(6));
+  EXPECT_EQ(f2_alpha2(2, 3), a(1) & a(4) & a(5) & ~a(6));
+  EXPECT_EQ(f2_alpha2(1, 3), a(2) & a(4) & a(5) & ~a(6));
+  EXPECT_THROW(f2_alpha2(1, 1), std::invalid_argument);
+  EXPECT_THROW(f2_alpha2(0, 2), std::invalid_argument);
+}
+
+TEST(Families, MuxRewriteMatchesPaper) {
+  // f_MUX2 -> f_MUX2^alpha = a6 ~a1 a3 + ~a6 ~a1 a5 (Section VI-D.2).
+  const Candidate& mux2 = mux_family()[0];
+  EXPECT_EQ(mux2.function, f_mux2());
+  EXPECT_EQ(mux2.load_zero_rewrite(true), f_mux2_zeroed());
+  EXPECT_EQ(f_mux2_zeroed(), (a(6) & ~a(1) & a(3)) | (~a(6) & ~a(1) & a(5)));
+}
+
+TEST(Families, MuxRewritePolarity) {
+  const Candidate& mux1 = mux_family()[1];
+  EXPECT_EQ(mux1.load_zero_rewrite(true), ~a(1) & a(3));
+  EXPECT_EQ(mux1.load_zero_rewrite(false), a(1) & a(2));
+}
+
+TEST(Families, GatedXorFamilyPolarityCount) {
+  // c+1 polarity choices instead of 2^c (Section VI-B).
+  for (unsigned c = 0; c <= 3; ++c) {
+    EXPECT_EQ(gated_xor_family(3, c, 0, TargetPath::kKeystream).size(), c + 1);
+  }
+}
+
+TEST(Families, GatedXorFamilySemantics) {
+  const auto fam = gated_xor_family(2, 1, 1, TargetPath::kFeedback);
+  ASSERT_EQ(fam.size(), 2u);
+  EXPECT_EQ(fam[0].function, ((a(1) ^ a(2)) & a(3)) ^ a(4));
+  EXPECT_EQ(fam[1].function, ((a(1) ^ a(2)) & ~a(3)) ^ a(4));
+  EXPECT_EQ(fam[0].xor_vars, (std::vector<u8>{0, 1}));
+}
+
+TEST(Families, GatedXorFamilyRejectsOverflow) {
+  EXPECT_THROW(gated_xor_family(4, 3, 0, TargetPath::kFeedback), std::invalid_argument);
+  EXPECT_THROW(gated_xor_family(5, 0, 0, TargetPath::kFeedback), std::invalid_argument);
+  EXPECT_THROW(gated_xor_family(1, 0, 0, TargetPath::kFeedback), std::invalid_argument);
+}
+
+TEST(Families, GatedXorStuckAt0RemovesTheXorGroup) {
+  for (const auto& c : gated_xor_family(3, 2, 1, TargetPath::kFeedback)) {
+    const TT rewrite = c.stuck_at0_rewrite();
+    // The rewrite must not depend on any XOR-group variable.
+    for (const u8 v : c.xor_vars) EXPECT_FALSE(rewrite.depends_on(v));
+    // And it must agree with the original wherever the group is all-0.
+    TT masked = c.function;
+    for (const u8 v : c.xor_vars) masked = masked.cofactor(v, 0);
+    EXPECT_EQ(rewrite, masked);
+  }
+}
+
+TEST(Families, MuxFoldFamilyShapes) {
+  const auto folds = mux_fold_family();
+  EXPECT_GE(folds.size(), 7u);
+  std::set<u64> tables;
+  for (const auto& c : folds) {
+    EXPECT_EQ(c.sel_var, 0);
+    // At sel = 1 the output is the data input a2.
+    EXPECT_EQ(c.function.cofactor(0, 1), a(2));
+    tables.insert(c.function.bits());
+  }
+  EXPECT_EQ(tables.size(), folds.size()) << "fold tables must be distinct";
+}
+
+TEST(Families, Mux3HalfIsSelD1D0) {
+  const u32 half = mux3_half();
+  // Evaluate: index bit0 = sel, bit1 = d1, bit2 = d0.
+  for (unsigned i = 0; i < 32; ++i) {
+    const u32 sel = bit_of(i, 0), d1 = bit_of(i, 1), d0 = bit_of(i, 2);
+    EXPECT_EQ(bit_of(half, i), sel ? d1 : d0);
+  }
+}
+
+}  // namespace
+}  // namespace sbm::logic

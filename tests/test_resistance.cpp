@@ -1,0 +1,53 @@
+// Defender-side resistance evaluation tests.
+#include <gtest/gtest.h>
+
+#include "attack/resistance.h"
+#include "fpga/system.h"
+
+namespace sbm::attack {
+namespace {
+
+TEST(Resistance, UnprotectedSystemIsAttackable) {
+  const fpga::System sys = fpga::build_system();
+  const ResistanceReport r = evaluate_resistance(sys.golden.bytes);
+  EXPECT_TRUE(r.attackable);
+  EXPECT_GE(r.keystream_family_max, 32u);
+  EXPECT_GT(r.occupied_luts, 100u);
+  EXPECT_GT(r.p_class_histogram.size(), 10u);
+  EXPECT_FALSE(r.summary().empty());
+}
+
+TEST(Resistance, ProtectedSystemIsNot) {
+  fpga::SystemOptions opt;
+  opt.protected_variant = true;
+  const fpga::System sys = fpga::build_system(opt);
+  const ResistanceReport r = evaluate_resistance(sys.golden.bytes);
+  EXPECT_FALSE(r.attackable);
+  EXPECT_LT(r.keystream_family_max, 32u);
+  EXPECT_EQ(r.feedback_family_total, 0u);
+  // Hiding 32 targets among the XOR2 halves must cost > 2^80.
+  EXPECT_GE(r.xor2_half_candidates, 192u);
+  EXPECT_GT(r.log2_exhaustive_search, 80.0);
+}
+
+TEST(Resistance, HistogramCountsAddUp) {
+  const fpga::System sys = fpga::build_system();
+  const ResistanceReport r = evaluate_resistance(sys.golden.bytes);
+  size_t total = 0;
+  for (const auto& [tt, count] : r.p_class_histogram) total += count;
+  EXPECT_EQ(total, r.occupied_luts);
+  ASSERT_FALSE(r.top_classes.empty());
+  for (size_t i = 1; i < r.top_classes.size(); ++i) {
+    EXPECT_GE(r.top_classes[i - 1].first, r.top_classes[i].first);
+  }
+}
+
+TEST(Resistance, GarbageInputYieldsEmptyReport) {
+  std::vector<u8> garbage(512, 0xAB);
+  const ResistanceReport r = evaluate_resistance(garbage);
+  EXPECT_EQ(r.occupied_luts, 0u);
+  EXPECT_FALSE(r.attackable);
+}
+
+}  // namespace
+}  // namespace sbm::attack
