@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cpp.o"
+  "CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cpp.o.d"
+  "bench_attack_e2e"
+  "bench_attack_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

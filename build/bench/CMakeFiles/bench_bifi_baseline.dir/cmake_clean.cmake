@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bifi_baseline.dir/bench_bifi_baseline.cpp.o"
+  "CMakeFiles/bench_bifi_baseline.dir/bench_bifi_baseline.cpp.o.d"
+  "bench_bifi_baseline"
+  "bench_bifi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bifi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_covers.dir/bench_fig5_covers.cpp.o"
+  "CMakeFiles/bench_fig5_covers.dir/bench_fig5_covers.cpp.o.d"
+  "bench_fig5_covers"
+  "bench_fig5_covers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_covers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

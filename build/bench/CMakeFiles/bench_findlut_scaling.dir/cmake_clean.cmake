@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_findlut_scaling.dir/bench_findlut_scaling.cpp.o"
+  "CMakeFiles/bench_findlut_scaling.dir/bench_findlut_scaling.cpp.o.d"
+  "bench_findlut_scaling"
+  "bench_findlut_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findlut_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_key_independence.dir/bench_key_independence.cpp.o"
+  "CMakeFiles/bench_key_independence.dir/bench_key_independence.cpp.o.d"
+  "bench_key_independence"
+  "bench_key_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_key_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

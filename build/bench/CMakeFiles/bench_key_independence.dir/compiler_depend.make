@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_key_independence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_key_independence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sta_timing.dir/bench_sta_timing.cpp.o"
+  "CMakeFiles/bench_sta_timing.dir/bench_sta_timing.cpp.o.d"
+  "bench_sta_timing"
+  "bench_sta_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sta_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lut_format.dir/bench_table1_lut_format.cpp.o"
+  "CMakeFiles/bench_table1_lut_format.dir/bench_table1_lut_format.cpp.o.d"
+  "bench_table1_lut_format"
+  "bench_table1_lut_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lut_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

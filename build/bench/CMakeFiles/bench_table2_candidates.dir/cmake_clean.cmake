@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_candidates.dir/bench_table2_candidates.cpp.o"
+  "CMakeFiles/bench_table2_candidates.dir/bench_table2_candidates.cpp.o.d"
+  "bench_table2_candidates"
+  "bench_table2_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

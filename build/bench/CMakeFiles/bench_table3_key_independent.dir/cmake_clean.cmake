@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_key_independent.dir/bench_table3_key_independent.cpp.o"
+  "CMakeFiles/bench_table3_key_independent.dir/bench_table3_key_independent.cpp.o.d"
+  "bench_table3_key_independent"
+  "bench_table3_key_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_key_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

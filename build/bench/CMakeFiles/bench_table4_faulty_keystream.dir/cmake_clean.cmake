@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_faulty_keystream.dir/bench_table4_faulty_keystream.cpp.o"
+  "CMakeFiles/bench_table4_faulty_keystream.dir/bench_table4_faulty_keystream.cpp.o.d"
+  "bench_table4_faulty_keystream"
+  "bench_table4_faulty_keystream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_faulty_keystream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_faulty_keystream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_protected.dir/bench_table6_protected.cpp.o"
+  "CMakeFiles/bench_table6_protected.dir/bench_table6_protected.cpp.o.d"
+  "bench_table6_protected"
+  "bench_table6_protected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_protected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_explorer.dir/bitstream_explorer.cpp.o"
+  "CMakeFiles/bitstream_explorer.dir/bitstream_explorer.cpp.o.d"
+  "bitstream_explorer"
+  "bitstream_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

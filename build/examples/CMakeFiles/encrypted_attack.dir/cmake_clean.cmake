@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_attack.dir/encrypted_attack.cpp.o"
+  "CMakeFiles/encrypted_attack.dir/encrypted_attack.cpp.o.d"
+  "encrypted_attack"
+  "encrypted_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_attack.dir/full_attack.cpp.o"
+  "CMakeFiles/full_attack.dir/full_attack.cpp.o.d"
+  "full_attack"
+  "full_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystream_tool.dir/keystream_tool.cpp.o"
+  "CMakeFiles/keystream_tool.dir/keystream_tool.cpp.o.d"
+  "keystream_tool"
+  "keystream_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystream_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

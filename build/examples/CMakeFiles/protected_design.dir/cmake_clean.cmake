@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_design.dir/protected_design.cpp.o"
+  "CMakeFiles/protected_design.dir/protected_design.cpp.o.d"
+  "protected_design"
+  "protected_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

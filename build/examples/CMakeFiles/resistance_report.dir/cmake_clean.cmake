@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resistance_report.dir/resistance_report.cpp.o"
+  "CMakeFiles/resistance_report.dir/resistance_report.cpp.o.d"
+  "resistance_report"
+  "resistance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resistance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

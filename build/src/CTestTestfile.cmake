@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("snow3g")
+subdirs("logic")
+subdirs("netlist")
+subdirs("mapper")
+subdirs("bitstream")
+subdirs("fpga")
+subdirs("attack")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_attack.dir/bifi.cpp.o"
+  "CMakeFiles/sbm_attack.dir/bifi.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/countermeasure.cpp.o"
+  "CMakeFiles/sbm_attack.dir/countermeasure.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/findlut.cpp.o"
+  "CMakeFiles/sbm_attack.dir/findlut.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/oracle.cpp.o"
+  "CMakeFiles/sbm_attack.dir/oracle.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/pipeline.cpp.o"
+  "CMakeFiles/sbm_attack.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/resistance.cpp.o"
+  "CMakeFiles/sbm_attack.dir/resistance.cpp.o.d"
+  "CMakeFiles/sbm_attack.dir/scan.cpp.o"
+  "CMakeFiles/sbm_attack.dir/scan.cpp.o.d"
+  "libsbm_attack.a"
+  "libsbm_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/assembler.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/assembler.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/assembler.cpp.o.d"
+  "/root/repo/src/bitstream/format.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/format.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/format.cpp.o.d"
+  "/root/repo/src/bitstream/lut_coding.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/lut_coding.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/lut_coding.cpp.o.d"
+  "/root/repo/src/bitstream/parser.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/parser.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/parser.cpp.o.d"
+  "/root/repo/src/bitstream/patcher.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/patcher.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/patcher.cpp.o.d"
+  "/root/repo/src/bitstream/secure.cpp" "src/bitstream/CMakeFiles/sbm_bitstream.dir/secure.cpp.o" "gcc" "src/bitstream/CMakeFiles/sbm_bitstream.dir/secure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sbm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sbm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/sbm_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sbm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/snow3g/CMakeFiles/sbm_snow3g.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

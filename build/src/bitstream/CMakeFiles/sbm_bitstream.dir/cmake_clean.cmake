@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_bitstream.dir/assembler.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/assembler.cpp.o.d"
+  "CMakeFiles/sbm_bitstream.dir/format.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/format.cpp.o.d"
+  "CMakeFiles/sbm_bitstream.dir/lut_coding.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/lut_coding.cpp.o.d"
+  "CMakeFiles/sbm_bitstream.dir/parser.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/parser.cpp.o.d"
+  "CMakeFiles/sbm_bitstream.dir/patcher.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/patcher.cpp.o.d"
+  "CMakeFiles/sbm_bitstream.dir/secure.cpp.o"
+  "CMakeFiles/sbm_bitstream.dir/secure.cpp.o.d"
+  "libsbm_bitstream.a"
+  "libsbm_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

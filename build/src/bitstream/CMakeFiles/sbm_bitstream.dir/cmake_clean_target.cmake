@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbm_bitstream.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_common.dir/hex.cpp.o"
+  "CMakeFiles/sbm_common.dir/hex.cpp.o.d"
+  "libsbm_common.a"
+  "libsbm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_crypto.dir/aes256.cpp.o"
+  "CMakeFiles/sbm_crypto.dir/aes256.cpp.o.d"
+  "CMakeFiles/sbm_crypto.dir/crc32.cpp.o"
+  "CMakeFiles/sbm_crypto.dir/crc32.cpp.o.d"
+  "CMakeFiles/sbm_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sbm_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sbm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sbm_crypto.dir/sha256.cpp.o.d"
+  "libsbm_crypto.a"
+  "libsbm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

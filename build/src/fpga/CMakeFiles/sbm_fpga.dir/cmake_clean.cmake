@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_fpga.dir/device.cpp.o"
+  "CMakeFiles/sbm_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/sbm_fpga.dir/system.cpp.o"
+  "CMakeFiles/sbm_fpga.dir/system.cpp.o.d"
+  "libsbm_fpga.a"
+  "libsbm_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/families.cpp" "src/logic/CMakeFiles/sbm_logic.dir/families.cpp.o" "gcc" "src/logic/CMakeFiles/sbm_logic.dir/families.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/sbm_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/sbm_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_logic.dir/families.cpp.o"
+  "CMakeFiles/sbm_logic.dir/families.cpp.o.d"
+  "CMakeFiles/sbm_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/sbm_logic.dir/truth_table.cpp.o.d"
+  "libsbm_logic.a"
+  "libsbm_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

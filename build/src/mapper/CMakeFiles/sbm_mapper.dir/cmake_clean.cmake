@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_mapper.dir/lut_network.cpp.o"
+  "CMakeFiles/sbm_mapper.dir/lut_network.cpp.o.d"
+  "CMakeFiles/sbm_mapper.dir/mapper.cpp.o"
+  "CMakeFiles/sbm_mapper.dir/mapper.cpp.o.d"
+  "CMakeFiles/sbm_mapper.dir/packing.cpp.o"
+  "CMakeFiles/sbm_mapper.dir/packing.cpp.o.d"
+  "CMakeFiles/sbm_mapper.dir/sta.cpp.o"
+  "CMakeFiles/sbm_mapper.dir/sta.cpp.o.d"
+  "libsbm_mapper.a"
+  "libsbm_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/sbm_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/sbm_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/sim.cpp" "src/netlist/CMakeFiles/sbm_netlist.dir/sim.cpp.o" "gcc" "src/netlist/CMakeFiles/sbm_netlist.dir/sim.cpp.o.d"
+  "/root/repo/src/netlist/snow3g_design.cpp" "src/netlist/CMakeFiles/sbm_netlist.dir/snow3g_design.cpp.o" "gcc" "src/netlist/CMakeFiles/sbm_netlist.dir/snow3g_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/snow3g/CMakeFiles/sbm_snow3g.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sbm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sbm_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

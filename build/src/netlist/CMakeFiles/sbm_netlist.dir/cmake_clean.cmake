@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sbm_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/sbm_netlist.dir/sim.cpp.o"
+  "CMakeFiles/sbm_netlist.dir/sim.cpp.o.d"
+  "CMakeFiles/sbm_netlist.dir/snow3g_design.cpp.o"
+  "CMakeFiles/sbm_netlist.dir/snow3g_design.cpp.o.d"
+  "libsbm_netlist.a"
+  "libsbm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

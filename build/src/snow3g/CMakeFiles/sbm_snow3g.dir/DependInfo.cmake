@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snow3g/f8f9.cpp" "src/snow3g/CMakeFiles/sbm_snow3g.dir/f8f9.cpp.o" "gcc" "src/snow3g/CMakeFiles/sbm_snow3g.dir/f8f9.cpp.o.d"
+  "/root/repo/src/snow3g/gf.cpp" "src/snow3g/CMakeFiles/sbm_snow3g.dir/gf.cpp.o" "gcc" "src/snow3g/CMakeFiles/sbm_snow3g.dir/gf.cpp.o.d"
+  "/root/repo/src/snow3g/reverse.cpp" "src/snow3g/CMakeFiles/sbm_snow3g.dir/reverse.cpp.o" "gcc" "src/snow3g/CMakeFiles/sbm_snow3g.dir/reverse.cpp.o.d"
+  "/root/repo/src/snow3g/sbox.cpp" "src/snow3g/CMakeFiles/sbm_snow3g.dir/sbox.cpp.o" "gcc" "src/snow3g/CMakeFiles/sbm_snow3g.dir/sbox.cpp.o.d"
+  "/root/repo/src/snow3g/snow3g.cpp" "src/snow3g/CMakeFiles/sbm_snow3g.dir/snow3g.cpp.o" "gcc" "src/snow3g/CMakeFiles/sbm_snow3g.dir/snow3g.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sbm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sbm_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

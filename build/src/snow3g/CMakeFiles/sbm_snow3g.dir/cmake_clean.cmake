@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_snow3g.dir/f8f9.cpp.o"
+  "CMakeFiles/sbm_snow3g.dir/f8f9.cpp.o.d"
+  "CMakeFiles/sbm_snow3g.dir/gf.cpp.o"
+  "CMakeFiles/sbm_snow3g.dir/gf.cpp.o.d"
+  "CMakeFiles/sbm_snow3g.dir/reverse.cpp.o"
+  "CMakeFiles/sbm_snow3g.dir/reverse.cpp.o.d"
+  "CMakeFiles/sbm_snow3g.dir/sbox.cpp.o"
+  "CMakeFiles/sbm_snow3g.dir/sbox.cpp.o.d"
+  "CMakeFiles/sbm_snow3g.dir/snow3g.cpp.o"
+  "CMakeFiles/sbm_snow3g.dir/snow3g.cpp.o.d"
+  "libsbm_snow3g.a"
+  "libsbm_snow3g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_snow3g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bifi.dir/test_bifi.cpp.o"
+  "CMakeFiles/test_bifi.dir/test_bifi.cpp.o.d"
+  "test_bifi"
+  "test_bifi.pdb"
+  "test_bifi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_countermeasure.cpp" "tests/CMakeFiles/test_countermeasure.dir/test_countermeasure.cpp.o" "gcc" "tests/CMakeFiles/test_countermeasure.dir/test_countermeasure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/sbm_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/sbm_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/sbm_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/sbm_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sbm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/sbm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/snow3g/CMakeFiles/sbm_snow3g.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sbm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sbm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_countermeasure.dir/test_countermeasure.cpp.o"
+  "CMakeFiles/test_countermeasure.dir/test_countermeasure.cpp.o.d"
+  "test_countermeasure"
+  "test_countermeasure.pdb"
+  "test_countermeasure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_countermeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_findlut.dir/test_findlut.cpp.o"
+  "CMakeFiles/test_findlut.dir/test_findlut.cpp.o.d"
+  "test_findlut"
+  "test_findlut.pdb"
+  "test_findlut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_findlut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/test_fpga.cpp.o"
+  "CMakeFiles/test_fpga.dir/test_fpga.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+  "test_fpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

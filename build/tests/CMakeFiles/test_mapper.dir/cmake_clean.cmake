@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper.dir/test_mapper.cpp.o"
+  "CMakeFiles/test_mapper.dir/test_mapper.cpp.o.d"
+  "test_mapper"
+  "test_mapper.pdb"
+  "test_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

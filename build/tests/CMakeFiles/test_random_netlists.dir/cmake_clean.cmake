@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_netlists.dir/test_random_netlists.cpp.o"
+  "CMakeFiles/test_random_netlists.dir/test_random_netlists.cpp.o.d"
+  "test_random_netlists"
+  "test_random_netlists.pdb"
+  "test_random_netlists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_netlists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

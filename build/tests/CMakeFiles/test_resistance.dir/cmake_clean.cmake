@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resistance.dir/test_resistance.cpp.o"
+  "CMakeFiles/test_resistance.dir/test_resistance.cpp.o.d"
+  "test_resistance"
+  "test_resistance.pdb"
+  "test_resistance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

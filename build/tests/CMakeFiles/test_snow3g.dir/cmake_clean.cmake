@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snow3g.dir/test_snow3g.cpp.o"
+  "CMakeFiles/test_snow3g.dir/test_snow3g.cpp.o.d"
+  "test_snow3g"
+  "test_snow3g.pdb"
+  "test_snow3g[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snow3g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

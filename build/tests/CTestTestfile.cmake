@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_snow3g[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_mapper[1]_include.cmake")
+include("/root/repo/build/tests/test_bitstream[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_findlut[1]_include.cmake")
+include("/root/repo/build/tests/test_countermeasure[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_bifi[1]_include.cmake")
+include("/root/repo/build/tests/test_resistance[1]_include.cmake")
+include("/root/repo/build/tests/test_random_netlists[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_failure_modes[1]_include.cmake")
