@@ -1,12 +1,20 @@
 // End-to-end cost of the full Section VI attack: wall-clock and oracle
 // reconfigurations per phase.  The paper's cost unit is a board reflash;
 // ours is a simulated device load, so only the *counts* carry over.
+//
+// Besides the human-readable breakdown, this bench writes
+// BENCH_attack_e2e.json (wall time, true oracle runs, cache hits, per-phase
+// runs) so the performance trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "attack/pipeline.h"
+#include "common/json.h"
 #include "fpga/system.h"
+#include "runtime/probe_cache.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -20,22 +28,67 @@ const fpga::System& system_instance() {
   return sys;
 }
 
-void print_cost_breakdown() {
+AttackResult run_once(bool cached, bool pooled, double* wall_seconds) {
   const fpga::System& sys = system_instance();
   DeviceOracle oracle(sys, kIv);
+  runtime::ProbeCache cache;
   PipelineConfig cfg;
   cfg.iv = kIv;
+  if (cached) cfg.cache = &cache;
+  if (pooled) cfg.find.pool = &runtime::ThreadPool::global();
+  const auto start = std::chrono::steady_clock::now();
   Attack attack(oracle, sys.golden.bytes, cfg);
-  const AttackResult res = attack.execute();
+  AttackResult res = attack.execute();
+  *wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return res;
+}
+
+void print_cost_breakdown() {
+  // Plain single-threaded uncached run: the paper-faithful cost metric...
+  double wall_plain = 0;
+  const AttackResult plain = run_once(false, false, &wall_plain);
   std::printf("=== End-to-end attack cost ===\n");
-  std::printf("success: %s, key confirmed: %s\n", res.success ? "yes" : "no",
-              res.key_confirmed ? "yes" : "no");
-  std::printf("oracle reconfigurations: %zu total\n", res.oracle_runs);
-  for (const auto& [phase, runs] : res.phase_runs) {
+  std::printf("success: %s, key confirmed: %s\n", plain.success ? "yes" : "no",
+              plain.key_confirmed ? "yes" : "no");
+  std::printf("oracle reconfigurations: %zu total\n", plain.oracle_runs);
+  for (const auto& [phase, runs] : plain.phase_runs) {
     std::printf("  %-10s %6zu\n", phase.c_str(), runs);
   }
-  std::printf("verified LUT rewrites: %zu z-path + %zu feedback + %zu MUX (beta)\n\n",
-              res.lut1.size(), res.feedback.size(), res.mux_patches);
+  std::printf("verified LUT rewrites: %zu z-path + %zu feedback + %zu MUX (beta)\n",
+              plain.lut1.size(), plain.feedback.size(), plain.mux_patches);
+
+  // ...and the production runtime configuration (probe cache + pool).
+  double wall_runtime = 0;
+  const AttackResult cached = run_once(true, true, &wall_runtime);
+  std::printf("with probe cache + pool: %zu true runs + %zu cache hits, %.2fs vs %.2fs\n\n",
+              cached.oracle_runs, cached.cache_hits, wall_runtime, wall_plain);
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "attack_e2e");
+  w.field("threads", u64{runtime::ThreadPool::global().concurrency()});
+  w.key("plain").begin_object();
+  w.field("wall_seconds", wall_plain)
+      .field("oracle_runs", plain.oracle_runs)
+      .field("cache_hits", plain.cache_hits)
+      .field("probe_calls", plain.probe_calls);
+  w.end_object();
+  w.key("runtime").begin_object();
+  w.field("wall_seconds", wall_runtime)
+      .field("oracle_runs", cached.oracle_runs)
+      .field("cache_hits", cached.cache_hits)
+      .field("probe_calls", cached.probe_calls);
+  w.end_object();
+  w.key("phase_oracle_runs").begin_object();
+  for (const auto& [phase, runs] : cached.phase_runs) w.field(phase, runs);
+  w.end_object();
+  w.end_object();
+  if (std::FILE* f = std::fopen("BENCH_attack_e2e.json", "w")) {
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_attack_e2e.json\n\n");
+  }
 }
 
 void BM_FullAttack(benchmark::State& state) {
@@ -51,6 +104,23 @@ void BM_FullAttack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullAttack)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_FullAttackCached(benchmark::State& state) {
+  const fpga::System& sys = system_instance();
+  for (auto _ : state) {
+    DeviceOracle oracle(sys, kIv);
+    runtime::ProbeCache cache;
+    PipelineConfig cfg;
+    cfg.iv = kIv;
+    cfg.cache = &cache;
+    cfg.find.pool = &runtime::ThreadPool::global();
+    Attack attack(oracle, sys.golden.bytes, cfg);
+    auto res = attack.execute();
+    benchmark::DoNotOptimize(res);
+    if (!res.success) state.SkipWithError("attack failed");
+  }
+}
+BENCHMARK(BM_FullAttackCached)->Unit(benchmark::kSecond)->Iterations(1);
 
 void BM_SystemBuild(benchmark::State& state) {
   for (auto _ : state) {

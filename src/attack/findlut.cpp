@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "runtime/parallel.h"
+
 namespace sbm::attack {
 
 using bitstream::kChunkBytes;
@@ -42,33 +44,60 @@ u64 assemble_b(std::span<const u8> bytes, size_t l, size_t d, const std::array<u
 
 }  // namespace
 
-std::vector<LutMatch> find_lut(std::span<const u8> bitstream, TruthTable6 f,
-                               const FindLutOptions& options) {
+LutPatterns precompute_patterns(TruthTable6 f) {
+  // Precompute xi(F_pi) for every distinct permuted truth table.
+  LutPatterns patterns;
+  for (const auto& perm : logic::all_permutations6()) {
+    const TruthTable6 t = f.permuted(perm);
+    patterns.by_stored_bits.try_emplace(bitstream::xi_permute(t.bits()),
+                                        LutPatterns::Pattern{t, perm});
+  }
+  return patterns;
+}
+
+std::vector<LutMatch> find_lut_range(std::span<const u8> bitstream, const LutPatterns& patterns,
+                                     size_t l_begin, size_t l_end,
+                                     const FindLutOptions& options) {
   std::vector<LutMatch> matches;
   const size_t d = options.offset_d;
   if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return matches;
-
-  // Precompute xi(F_pi) for every distinct permuted truth table.
-  struct Pattern {
-    TruthTable6 table;
-    InputPermutation perm;
-  };
-  std::unordered_map<u64, Pattern> patterns;
-  for (const auto& perm : logic::all_permutations6()) {
-    const TruthTable6 t = f.permuted(perm);
-    patterns.try_emplace(bitstream::xi_permute(t.bits()), Pattern{t, perm});
-  }
-
   const auto orders = orders_for(options);
   const size_t last = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes;
-  for (size_t l = 0; l <= last; ++l) {
+  l_end = std::min(l_end, last + 1);
+  for (size_t l = l_begin; l < l_end; ++l) {
     for (const auto& order : orders) {
       const u64 b = assemble_b(bitstream, l, d, order);
-      const auto it = patterns.find(b);
-      if (it == patterns.end()) continue;
+      const auto it = patterns.by_stored_bits.find(b);
+      if (it == patterns.by_stored_bits.end()) continue;
       matches.push_back({l, it->second.table, it->second.perm, order});
       break;  // Mark(l): one hit per byte position
     }
+  }
+  return matches;
+}
+
+std::vector<LutMatch> find_lut(std::span<const u8> bitstream, TruthTable6 f,
+                               const FindLutOptions& options) {
+  const size_t d = options.offset_d;
+  if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return {};
+  const LutPatterns patterns = precompute_patterns(f);
+  const size_t positions = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes + 1;
+
+  const size_t shards = runtime::shard_count(options.pool, positions, options.shard_grain);
+  if (shards <= 1) return find_lut_range(bitstream, patterns, 0, positions, options);
+
+  // Shard the byte-position scan; concatenating shard outputs in range
+  // order reproduces the serial ascending-l order exactly.
+  auto per_shard = runtime::parallel_map(
+      options.pool, shards,
+      [&](size_t s) {
+        return find_lut_range(bitstream, patterns, positions * s / shards,
+                              positions * (s + 1) / shards, options);
+      },
+      /*min_grain=*/1);
+  std::vector<LutMatch> matches;
+  for (auto& part : per_shard) {
+    matches.insert(matches.end(), part.begin(), part.end());
   }
   return matches;
 }

@@ -13,12 +13,18 @@
 //     hash-probing per sub-vector order.  Same results, linear in |B|.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bitstream/assembler.h"
 #include "bitstream/lut_coding.h"
 #include "logic/truth_table.h"
+
+namespace sbm::runtime {
+class ThreadPool;
+}
 
 namespace sbm::attack {
 
@@ -30,6 +36,13 @@ struct FindLutOptions {
   /// uses (SLICEL, SLICEM).  Setting try_all_orders explores all r! = 24
   /// permutations exactly as the pseudo-code allows.
   bool try_all_orders = false;
+  /// Worker pool for sharding the byte-position scan.  Null runs serially;
+  /// results are identical either way (the scan is sharded by contiguous
+  /// byte range and shard outputs are concatenated in range order).
+  runtime::ThreadPool* pool = nullptr;
+  /// Minimum byte positions per shard when a pool is used — small scans are
+  /// not worth the fan-out.
+  size_t shard_grain = 1 << 14;
 };
 
 struct LutMatch {
@@ -37,12 +50,32 @@ struct LutMatch {
   logic::TruthTable6 matched_table;  // truth table stored at l (= f permuted)
   logic::InputPermutation perm{};    // input order (i1..ik) that matched
   std::array<u8, 4> order{};         // sub-vector order that matched
+  bool operator==(const LutMatch&) const = default;
 };
 
 std::vector<LutMatch> find_lut(std::span<const u8> bitstream, logic::TruthTable6 f,
                                const FindLutOptions& options = {});
 
 std::vector<LutMatch> find_lut_naive(std::span<const u8> bitstream, logic::TruthTable6 f,
+                                     const FindLutOptions& options = {});
+
+/// Precomputed FINDLUT state for one target function: the distinct
+/// xi-mapped permuted truth tables, hash-indexed.  Immutable after
+/// construction, so one instance can be shared by concurrent range scans.
+struct LutPatterns {
+  struct Pattern {
+    logic::TruthTable6 table;
+    logic::InputPermutation perm;
+  };
+  std::unordered_map<u64, Pattern> by_stored_bits;
+};
+LutPatterns precompute_patterns(logic::TruthTable6 f);
+
+/// Scans byte positions [l_begin, l_end) only (clamped to the valid range).
+/// find_lut(b, f, o) == concatenation of find_lut_range over a partition of
+/// the position space, in range order.
+std::vector<LutMatch> find_lut_range(std::span<const u8> bitstream, const LutPatterns& patterns,
+                                     size_t l_begin, size_t l_end,
                                      const FindLutOptions& options = {});
 
 /// All sub-vector orders (r! = 24) in a stable order.

@@ -10,6 +10,7 @@
 #include "attack/scan.h"
 #include "bitstream/parser.h"
 #include "bitstream/patcher.h"
+#include "runtime/probe_cache.h"
 #include "snow3g/snow3g.h"
 
 namespace sbm::attack {
@@ -40,7 +41,16 @@ void Attack::note(std::string message) {
 }
 
 std::optional<std::vector<u32>> Attack::probe(const std::vector<u8>& bytes) {
-  return oracle_.run(bytes, config_.words);
+  ++probe_calls_;
+  if (config_.cache == nullptr) return oracle_.run(bytes, config_.words);
+  const runtime::ProbeKey key = runtime::make_probe_key(bytes, config_.words);
+  if (auto cached = config_.cache->lookup(key)) {
+    ++cache_hits_;
+    return *cached;
+  }
+  auto result = oracle_.run(bytes, config_.words);
+  config_.cache->store(key, result);
+  return result;
 }
 
 std::vector<u8> Attack::with_patches(const std::vector<u8>& base,
@@ -97,19 +107,22 @@ AttackResult Attack::execute() {
                   tracked("extract", phase_extract(result));
   result.success = ok;
   result.oracle_runs = oracle_.runs();
+  result.cache_hits = cache_hits_;
+  result.probe_calls = probe_calls_;
   active_ = nullptr;
   return result;
 }
 
 bool Attack::phase_zpath(AttackResult& result) {
-  // Scan the keystream-path family and sort candidates by match count,
-  // largest first (Section VI-C: "starting from the ones with the largest
-  // number of matches n").
-  std::vector<FamilyCount> counts;
+  // Scan the keystream-path family (sharded by candidate and byte range
+  // when a pool is configured) and sort candidates by match count, largest
+  // first (Section VI-C: "starting from the ones with the largest number of
+  // matches n").
+  std::vector<Candidate> z_family;
   for (const Candidate& c : attack_family()) {
-    if (c.path != logic::TargetPath::kKeystream) continue;
-    counts.push_back({c, find_lut(base_, c.function, config_.find)});
+    if (c.path == logic::TargetPath::kKeystream) z_family.push_back(c);
   }
+  std::vector<FamilyCount> counts = scan_family(base_, z_family, config_.find);
   std::sort(counts.begin(), counts.end(),
             [](const FamilyCount& a, const FamilyCount& b) { return a.count() > b.count(); });
 
@@ -176,8 +189,11 @@ bool Attack::phase_beta(AttackResult& result) {
   };
   std::vector<MuxHit> hits;
   std::set<size_t> seen;
-  for (const Candidate& c : mux_scan_family()) {
-    for (const LutMatch& m : find_lut(base_, c.function, config_.find)) {
+  const std::vector<FamilyCount> mux_counts =
+      scan_family(base_, mux_scan_family(), config_.find);
+  for (size_t ci = 0; ci < mux_counts.size(); ++ci) {
+    const Candidate& c = mux_scan_family()[ci];  // stable storage for MuxHit::cand
+    for (const LutMatch& m : mux_counts[ci].matches) {
       if (aligned(m.byte_index) && seen.insert(m.byte_index).second) {
         hits.push_back({m, {}, &c, false});
       }
@@ -339,11 +355,17 @@ bool Attack::phase_feedback(AttackResult& result) {
 
   // Stage 1 — precise probes on family matches: the candidate says exactly
   // which stored variables form the hypothesized XOR group; cofactor them
-  // all to 0 (the generalization of the paper's Eq. (1)).
+  // all to 0 (the generalization of the paper's Eq. (1)).  The family scan
+  // fans out across the pool; the probes that follow stay strictly ordered.
+  std::vector<Candidate> fb_family;
   for (const Candidate& c : attack_family()) {
+    if (c.path == logic::TargetPath::kFeedback) fb_family.push_back(c);
+  }
+  const std::vector<FamilyCount> fb_counts = scan_family(base_beta, fb_family, config_.find);
+  for (size_t ci = 0; ci < fb_counts.size(); ++ci) {
+    const Candidate& c = fb_family[ci];
     if (covered.size() == 32) break;
-    if (c.path != logic::TargetPath::kFeedback) continue;
-    for (const LutMatch& m : find_lut(base_beta, c.function, config_.find)) {
+    for (const LutMatch& m : fb_counts[ci].matches) {
       if (z_claimed.count(m.byte_index)) continue;
       FeedbackLut lut{m.byte_index, m.order, -1, false, {}, 0};
       for (const u8 xv : c.xor_vars) lut.zero_vars.push_back(m.perm[xv]);

@@ -32,6 +32,10 @@
 #include "attack/oracle.h"
 #include "snow3g/reverse.h"
 
+namespace sbm::runtime {
+class ProbeCache;
+}
+
 namespace sbm::attack {
 
 /// How the attacker deals with the configuration CRC (Section V-B): either
@@ -41,11 +45,17 @@ enum class CrcHandling { kDisable, kRecompute };
 
 struct PipelineConfig {
   size_t words = 16;  // keystream words per probe (the paper's w)
+  /// `find.pool` also shards every family scan of the pipeline; results are
+  /// identical for any thread count (see src/runtime/parallel.h).
   FindLutOptions find;
   /// Attacker-known IV the host uses (public parameter); needed only for
   /// the final confirmation of the recovered key.
   snow3g::Iv iv{};
   CrcHandling crc = CrcHandling::kDisable;
+  /// Optional probe cache: byte-identical patched bitstreams skip the
+  /// simulated reconfiguration.  Hits are counted in AttackResult::cache_hits,
+  /// never in oracle_runs — the paper's cost metric stays honest.
+  runtime::ProbeCache* cache = nullptr;
   bool verbose = false;
 };
 
@@ -89,6 +99,11 @@ struct AttackResult {
   size_t oracle_runs = 0;
   /// Oracle reconfigurations spent per phase (cost breakdown).
   std::vector<std::pair<std::string, size_t>> phase_runs;
+  /// Probe requests answered by the cache (probe_calls = oracle_runs +
+  /// cache_hits when a cache is configured and the oracle accepts every
+  /// golden probe).
+  size_t cache_hits = 0;
+  size_t probe_calls = 0;
 };
 
 class Attack {
@@ -124,6 +139,8 @@ class Attack {
 
   Oracle& oracle_;
   PipelineConfig config_;
+  size_t cache_hits_ = 0;
+  size_t probe_calls_ = 0;
   std::vector<u8> golden_;     // pristine bitstream
   std::vector<u8> base_;       // golden with the CRC check disabled
   std::vector<u32> z_golden_;  // keystream of the unmodified device

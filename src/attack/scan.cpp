@@ -1,5 +1,8 @@
 #include "attack/scan.h"
 
+#include "bitstream/lut_coding.h"
+#include "runtime/parallel.h"
+
 namespace sbm::attack {
 
 using logic::Candidate;
@@ -10,8 +13,46 @@ std::vector<FamilyCount> scan_family(std::span<const u8> bitstream,
                                      const FindLutOptions& options) {
   std::vector<FamilyCount> out;
   out.reserve(family.size());
-  for (const Candidate& c : family) {
-    out.push_back({c, find_lut(bitstream, c.function, options)});
+  const size_t min_size =
+      (bitstream::kSubVectors - 1) * options.offset_d + bitstream::kChunkBytes;
+  const size_t positions = bitstream.size() < min_size ? 0 : bitstream.size() - min_size + 1;
+  const size_t shards = runtime::shard_count(options.pool, positions, options.shard_grain);
+
+  if (shards <= 1) {
+    // Serial reference path (also taken for tiny bitstreams).
+    FindLutOptions serial = options;
+    serial.pool = nullptr;
+    for (const Candidate& c : family) {
+      out.push_back({c, find_lut(bitstream, c.function, serial)});
+    }
+    return out;
+  }
+
+  // Two-level sharding: the unit of work is (candidate, byte-range).  The
+  // pattern precompute is done once per candidate and shared read-only by
+  // that candidate's range shards; shard outputs concatenate in range order,
+  // so the result is byte-identical to the serial scan for any thread count.
+  auto patterns = runtime::parallel_map(options.pool, family.size(), [&](size_t c) {
+    return precompute_patterns(family[c].function);
+  });
+  const size_t tasks = family.size() * shards;
+  auto pieces = runtime::parallel_map(
+      options.pool, tasks,
+      [&](size_t t) {
+        const size_t c = t / shards;
+        const size_t s = t % shards;
+        return find_lut_range(bitstream, patterns[c], positions * s / shards,
+                              positions * (s + 1) / shards, options);
+      },
+      /*min_grain=*/1);
+  for (size_t c = 0; c < family.size(); ++c) {
+    FamilyCount fc;
+    fc.candidate = family[c];
+    for (size_t s = 0; s < shards; ++s) {
+      auto& part = pieces[c * shards + s];
+      fc.matches.insert(fc.matches.end(), part.begin(), part.end());
+    }
+    out.push_back(std::move(fc));
   }
   return out;
 }

@@ -1,0 +1,211 @@
+#include "campaign/campaign.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "attack/pipeline.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "fpga/system.h"
+#include "runtime/parallel.h"
+#include "runtime/probe_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace sbm::campaign {
+
+namespace {
+
+constexpr u64 mix64(u64 z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool is_protected_trial(const CampaignOptions& options, size_t index) {
+  return options.protected_every != 0 && index % options.protected_every ==
+                                             options.protected_every - 1;
+}
+
+}  // namespace
+
+TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::ThreadPool* pool) {
+  const auto start = std::chrono::steady_clock::now();
+  TrialOutcome out;
+  out.index = index;
+  out.trial_seed = mix64(options.seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  out.protected_variant = is_protected_trial(options, index);
+
+  // All trial randomness — victim key, host IV, placement scatter — derives
+  // from the trial seed, never from global state, so trials are independent
+  // of scheduling order.
+  Rng rng(out.trial_seed);
+  fpga::SystemOptions sys_opt;
+  sys_opt.protected_variant = out.protected_variant;
+  sys_opt.key = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+  sys_opt.packing.placement_seed = rng.next_u64();
+  const snow3g::Iv iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+
+  const fpga::System sys = fpga::build_system(sys_opt);
+  out.lut_sites = sys.placed.phys.size();
+
+  attack::DeviceOracle oracle(sys, iv);
+  runtime::ProbeCache cache;
+  attack::PipelineConfig cfg;
+  cfg.words = options.words;
+  cfg.iv = iv;
+  if (options.use_probe_cache) cfg.cache = &cache;
+  if (options.scan_parallel) cfg.find.pool = pool;
+  attack::Attack attack(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult res = attack.execute();
+
+  out.attack_success = res.success;
+  out.key_match = res.success && res.secrets.key == sys_opt.key;
+  out.expected = out.protected_variant ? !res.success : out.key_match;
+  out.failure = res.failure;
+  out.oracle_runs = res.oracle_runs;
+  out.cache_hits = res.cache_hits;
+  out.probe_calls = res.probe_calls;
+  out.phase_runs = res.phase_runs;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+CampaignReport run_campaign(const CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  CampaignReport report;
+  report.options = options;
+
+  runtime::ThreadPool pool(options.threads);
+  report.threads_used = pool.concurrency();
+  runtime::ThreadPool* scan_pool = pool.concurrency() > 1 ? &pool : nullptr;
+
+  // Trial-level fan-out; parallel_map keeps the outcomes in trial order.
+  report.trials = runtime::parallel_map(
+      pool.concurrency() > 1 ? &pool : nullptr, options.trials,
+      [&](size_t i) {
+        TrialOutcome out = run_trial(options, i, scan_pool);
+        if (options.verbose) {
+          std::printf("[campaign] trial %zu/%zu: %s%s (%zu oracle runs, %zu cache hits, %.1fs)\n",
+                      i + 1, options.trials, out.protected_variant ? "protected, " : "",
+                      out.expected ? "as expected" : "UNEXPECTED", out.oracle_runs,
+                      out.cache_hits, out.wall_seconds);
+        }
+        return out;
+      },
+      /*min_grain=*/1);
+
+  for (const TrialOutcome& t : report.trials) {
+    if (t.protected_variant) {
+      ++report.protected_trials;
+      report.protected_resisted += t.expected ? 1 : 0;
+    } else {
+      ++report.unprotected_trials;
+      report.unprotected_successes += t.key_match ? 1 : 0;
+    }
+    report.total_oracle_runs += t.oracle_runs;
+    report.total_cache_hits += t.cache_hits;
+    report.total_probe_calls += t.probe_calls;
+    for (const auto& [phase, runs] : t.phase_runs) {
+      bool found = false;
+      for (auto& [name, total] : report.phase_run_totals) {
+        if (name == phase) {
+          total += runs;
+          found = true;
+        }
+      }
+      if (!found) report.phase_run_totals.emplace_back(phase, runs);
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+bool CampaignReport::all_expected() const {
+  for (const TrialOutcome& t : trials) {
+    if (!t.expected) return false;
+  }
+  return true;
+}
+
+u64 CampaignReport::fingerprint() const {
+  u64 h = mix64(trials.size());
+  auto fold = [&h](u64 v) { h = mix64(h ^ (v + 0x9e3779b97f4a7c15ull)); };
+  for (const TrialOutcome& t : trials) {
+    fold(t.index);
+    fold(t.trial_seed);
+    fold(t.protected_variant ? 1 : 2);
+    fold(t.attack_success ? 1 : 2);
+    fold(t.key_match ? 1 : 2);
+    fold(t.expected ? 1 : 2);
+    fold(t.failure.size());
+    for (const char c : t.failure) fold(static_cast<u64>(static_cast<unsigned char>(c)));
+    fold(t.oracle_runs);
+    fold(t.cache_hits);
+    fold(t.probe_calls);
+    fold(t.lut_sites);
+    for (const auto& [phase, runs] : t.phase_runs) {
+      fold(phase.size());
+      fold(runs);
+    }
+  }
+  return h;
+}
+
+std::string CampaignReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("options").begin_object();
+  w.field("trials", options.trials)
+      .field("threads", u64{options.threads})
+      .field("seed", options.seed)
+      .field("protected_every", options.protected_every)
+      .field("words", options.words)
+      .field("use_probe_cache", options.use_probe_cache)
+      .field("scan_parallel", options.scan_parallel);
+  w.end_object();
+
+  w.key("aggregate").begin_object();
+  w.field("threads_used", u64{threads_used})
+      .field("unprotected_trials", unprotected_trials)
+      .field("unprotected_successes", unprotected_successes)
+      .field("protected_trials", protected_trials)
+      .field("protected_resisted", protected_resisted)
+      .field("all_expected", all_expected())
+      .field("total_oracle_runs", total_oracle_runs)
+      .field("total_cache_hits", total_cache_hits)
+      .field("total_probe_calls", total_probe_calls)
+      .field("wall_seconds", wall_seconds)
+      .field("fingerprint", fingerprint());
+  w.key("phase_oracle_runs").begin_object();
+  for (const auto& [phase, runs] : phase_run_totals) w.field(phase, runs);
+  w.end_object();
+  w.end_object();
+
+  w.key("trials").begin_array();
+  for (const TrialOutcome& t : trials) {
+    w.begin_object();
+    w.field("index", t.index)
+        .field("trial_seed", t.trial_seed)
+        .field("protected", t.protected_variant)
+        .field("attack_success", t.attack_success)
+        .field("key_match", t.key_match)
+        .field("expected", t.expected)
+        .field("failure", t.failure)
+        .field("oracle_runs", t.oracle_runs)
+        .field("cache_hits", t.cache_hits)
+        .field("probe_calls", t.probe_calls)
+        .field("lut_sites", t.lut_sites)
+        .field("wall_seconds", t.wall_seconds);
+    w.key("phase_runs").begin_object();
+    for (const auto& [phase, runs] : t.phase_runs) w.field(phase, runs);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sbm::campaign

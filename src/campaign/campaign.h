@@ -1,0 +1,100 @@
+// Batch attack campaigns: fan out M independent attack trials across the
+// worker pool and aggregate a machine-readable report.
+//
+// Each trial builds its own victim — randomized session key, host IV and
+// placement seed, optionally the Section VII protected (trivial-cut) variant
+// — and runs the full Section VI pipeline against it, the way related work
+// (Puschner et al., "Patching FPGAs"; Ender et al., "The Unpatchable
+// Silicon") evaluates bitstream attacks statistically over many targets
+// rather than on one board.
+//
+// Determinism contract: every field of the report except wall-clock timings
+// is a pure function of CampaignOptions — trials derive their randomness
+// from (options.seed, trial index) only, and the runtime layer guarantees
+// scan results are independent of the thread count.  fingerprint() digests
+// exactly the timing-free fields, so `fingerprint(threads=1) ==
+// fingerprint(threads=N)` is the subsystem's contract and is enforced by
+// tests/test_campaign.cpp.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sbm::runtime {
+class ThreadPool;
+}
+
+namespace sbm::campaign {
+
+struct CampaignOptions {
+  /// Independent attack trials to run.
+  size_t trials = 8;
+  /// Worker threads (total, including the driver); 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Master seed; trial i draws all its randomness from (seed, i).
+  u64 seed = 0x5eedc0de;
+  /// Every k-th trial (i % k == k - 1) builds the Section VII protected
+  /// variant, whose expected outcome is that the attack *fails*.  0 = never.
+  size_t protected_every = 0;
+  /// Keystream words per probe (the paper's w).
+  size_t words = 16;
+  /// Per-trial probe cache (identical patched bitstreams skip the simulated
+  /// reconfiguration; hits reported separately from true oracle runs).
+  bool use_probe_cache = true;
+  /// Hand each trial's FINDLUT scans the shared pool too (candidate and
+  /// byte-range sharding inside a trial, on top of trial-level fan-out).
+  bool scan_parallel = true;
+  bool verbose = false;
+};
+
+struct TrialOutcome {
+  size_t index = 0;
+  u64 trial_seed = 0;
+  bool protected_variant = false;
+  bool attack_success = false;  // pipeline reported a confirmed key
+  bool key_match = false;       // recovered key equals the planted key
+  /// Trial behaved as the paper predicts: key recovered on an unprotected
+  /// victim, attack defeated on a protected one.
+  bool expected = false;
+  std::string failure;  // pipeline failure reason when !attack_success
+  size_t oracle_runs = 0;
+  size_t cache_hits = 0;
+  size_t probe_calls = 0;
+  size_t lut_sites = 0;  // victim fabric size (varies with the placement seed)
+  std::vector<std::pair<std::string, size_t>> phase_runs;
+  double wall_seconds = 0;  // informational only — excluded from fingerprint()
+};
+
+struct CampaignReport {
+  CampaignOptions options;
+  std::vector<TrialOutcome> trials;
+
+  size_t unprotected_trials = 0;
+  size_t unprotected_successes = 0;
+  size_t protected_trials = 0;
+  size_t protected_resisted = 0;
+  size_t total_oracle_runs = 0;
+  size_t total_cache_hits = 0;
+  size_t total_probe_calls = 0;
+  /// Per-phase oracle-run totals summed across trials, in pipeline order.
+  std::vector<std::pair<std::string, size_t>> phase_run_totals;
+  double wall_seconds = 0;
+  unsigned threads_used = 0;
+
+  bool all_expected() const;
+  /// Digest of every timing-independent field of every trial, in trial
+  /// order.  Identical for 1 and N threads by the determinism contract.
+  u64 fingerprint() const;
+  std::string to_json() const;
+};
+
+/// Runs one trial (exposed for tests).  `pool` may be null (serial scans).
+TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::ThreadPool* pool);
+
+/// Runs the whole campaign on an internally-owned pool of options.threads.
+CampaignReport run_campaign(const CampaignOptions& options);
+
+}  // namespace sbm::campaign

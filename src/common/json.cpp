@@ -1,0 +1,112 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace sbm {
+
+void JsonWriter::comma() {
+  if (!stack_.empty() && stack_.back() == 'v') {
+    stack_.back() = 'o';  // value completes a key/value pair
+    need_comma_ = true;   // next key needs a separator
+    return;
+  }
+  if (need_comma_) out_ += ',';
+  need_comma_ = true;
+}
+
+void JsonWriter::append_escaped(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  stack_ += 'o';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  stack_ += 'a';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+  append_escaped(name);
+  out_ += ':';
+  if (!stack_.empty()) stack_.back() = 'v';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  append_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+}  // namespace sbm

@@ -1,0 +1,53 @@
+// Minimal JSON emission for machine-readable reports (campaign summaries,
+// bench artifacts).  Writer only — nothing in this codebase consumes JSON —
+// with just enough structure tracking to guarantee well-formed output:
+// commas, key/value alternation and brace balance are handled here, string
+// escaping covers the control range, and doubles round-trip via %.17g.
+#pragma once
+
+#include <string>
+
+#include "common/bits.h"
+
+namespace sbm {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(u64 v);  // also covers size_t on LP64
+  JsonWriter& value(u32 v) { return value(u64{v}); }
+  JsonWriter& value(int v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far.  Well-formed once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void append_escaped(const std::string& s);
+
+  std::string out_;
+  /// Stack of open containers: 'o' = object expecting key, 'v' = object
+  /// expecting value, 'a' = array.
+  std::string stack_;
+  bool need_comma_ = false;
+};
+
+}  // namespace sbm

@@ -1,0 +1,73 @@
+#include "runtime/probe_cache.h"
+
+namespace sbm::runtime {
+
+namespace {
+
+constexpr u64 mix64(u64 z) {
+  // SplitMix64 finalizer — full avalanche on 64 bits.
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ProbeKey make_probe_key(std::span<const u8> bitstream, size_t words) {
+  // Two independently-seeded 64-bit lanes over 8-byte chunks; 128 bits keep
+  // the birthday bound far beyond any campaign's probe count.
+  u64 h0 = 0x6a09e667f3bcc908ull ^ mix64(bitstream.size());
+  u64 h1 = 0xbb67ae8584caa73bull ^ mix64(words);
+  size_t i = 0;
+  for (; i + 8 <= bitstream.size(); i += 8) {
+    u64 chunk = 0;
+    for (unsigned b = 0; b < 8; ++b) chunk |= u64{bitstream[i + b]} << (8 * b);
+    h0 = mix64(h0 ^ chunk);
+    h1 = mix64(h1 + chunk * 0x2545f4914f6cdd1dull);
+  }
+  u64 tail = 0;
+  for (unsigned b = 0; i < bitstream.size(); ++i, ++b) tail |= u64{bitstream[i]} << (8 * b);
+  h0 = mix64(h0 ^ tail);
+  h1 = mix64(h1 + tail * 0x2545f4914f6cdd1dull);
+  return {h0, h1, words};
+}
+
+ProbeCache::ProbeCache(size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+std::optional<ProbeResult> ProbeCache::lookup(const ProbeKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void ProbeCache::store(const ProbeKey& key, ProbeResult result) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.try_emplace(key, std::move(result));
+}
+
+size_t ProbeCache::entries() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void ProbeCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sbm::runtime

@@ -1,0 +1,79 @@
+#include "runtime/thread_pool.h"
+
+namespace sbm::runtime {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : concurrency_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(concurrency_ - 1);
+  for (unsigned i = 1; i < concurrency_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_one(Batch& batch, size_t index, std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  try {
+    batch.tasks[index]();
+  } catch (...) {
+    batch.errors[index] = std::current_exception();
+  }
+  batch.tasks[index] = nullptr;  // release captures eagerly
+  lock.lock();
+  if (++batch.done == batch.tasks.size()) batch.completed.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;  // batches in flight are drained by their callers
+    const std::shared_ptr<Batch> batch = queue_.front();
+    if (batch->next >= batch->tasks.size()) {
+      queue_.pop_front();  // fully claimed; stragglers finish in their claimers
+      continue;
+    }
+    run_one(*batch, batch->next++, lock);
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const auto batch = std::make_shared<Batch>(std::move(tasks));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (concurrency_ > 1) {
+    queue_.push_back(batch);
+    work_available_.notify_all();
+  }
+  // The submitting thread claims tasks too; with concurrency 1 (or no idle
+  // worker) it simply runs the whole batch serially, in index order.
+  while (batch->next < batch->tasks.size()) run_one(*batch, batch->next++, lock);
+  batch->completed.wait(lock, [&] { return batch->done == batch->tasks.size(); });
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == batch) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  lock.unlock();
+
+  for (const std::exception_ptr& e : batch->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace sbm::runtime

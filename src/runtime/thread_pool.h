@@ -1,0 +1,72 @@
+// Fixed-size worker-thread pool with nested-batch support.
+//
+// The pool's unit of work is a *batch*: a vector of tasks submitted and
+// awaited together by one calling thread.  The caller participates in
+// executing its own batch (it never just blocks while unstarted work
+// exists), which makes nested `run_batch` calls from inside pool tasks
+// safe: a worker that reaches an inner batch drains that batch itself even
+// if every other thread is busy.  Concurrency is therefore a performance
+// knob only — results and termination never depend on the thread count.
+//
+// Exceptions thrown by tasks are captured per task and rethrown to the
+// submitting thread after the whole batch has finished; when several tasks
+// throw, the lowest task index wins, so the surfaced error is the same for
+// 1 and N threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbm::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency during a batch, *including* the
+  /// submitting thread: ThreadPool(1) spawns no workers and runs every
+  /// batch serially in the caller; ThreadPool(8) spawns 7 workers.
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned concurrency() const { return concurrency_; }
+
+  /// Runs every task, blocking until all are done.  The calling thread
+  /// executes tasks too.  Rethrows the lowest-index task exception, if any.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Shared process-wide pool at hardware concurrency, built on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Batch {
+    explicit Batch(std::vector<std::function<void()>> t)
+        : tasks(std::move(t)), errors(tasks.size()) {}
+    std::vector<std::function<void()>> tasks;
+    size_t next = 0;  // first unclaimed task (guarded by pool mutex)
+    size_t done = 0;  // finished tasks (guarded by pool mutex)
+    std::vector<std::exception_ptr> errors;
+    std::condition_variable completed;
+  };
+
+  void worker_loop();
+  /// Claims and runs one task of `batch` if any is unclaimed.  `lock` is
+  /// held on entry and exit, released around the task body.
+  static void run_one(Batch& batch, size_t index, std::unique_lock<std::mutex>& lock);
+
+  unsigned concurrency_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sbm::runtime
