@@ -28,14 +28,15 @@ const fpga::System& system_instance() {
   return sys;
 }
 
-AttackResult run_once(bool cached, bool pooled, double* wall_seconds) {
+AttackResult run_once(bool cached, runtime::ThreadPool* pool, unsigned batch_width,
+                      double* wall_seconds) {
   const fpga::System& sys = system_instance();
-  DeviceOracle oracle(sys, kIv);
+  DeviceOracle oracle(sys, kIv, pool, batch_width);
   runtime::ProbeCache cache;
   PipelineConfig cfg;
   cfg.iv = kIv;
   if (cached) cfg.cache = &cache;
-  if (pooled) cfg.find.pool = &runtime::ThreadPool::global();
+  cfg.find.pool = pool;
   const auto start = std::chrono::steady_clock::now();
   Attack attack(oracle, sys.golden.bytes, cfg);
   AttackResult res = attack.execute();
@@ -45,9 +46,10 @@ AttackResult run_once(bool cached, bool pooled, double* wall_seconds) {
 }
 
 void print_cost_breakdown() {
-  // Plain single-threaded uncached run: the paper-faithful cost metric...
+  // Plain single-threaded uncached scalar run: the paper-faithful cost
+  // metric (batch width 1 = one reconfiguration per probe, no bit-slicing)...
   double wall_plain = 0;
-  const AttackResult plain = run_once(false, false, &wall_plain);
+  const AttackResult plain = run_once(false, nullptr, 1, &wall_plain);
   std::printf("=== End-to-end attack cost ===\n");
   std::printf("success: %s, key confirmed: %s\n", plain.success ? "yes" : "no",
               plain.key_confirmed ? "yes" : "no");
@@ -58,28 +60,41 @@ void print_cost_breakdown() {
   std::printf("verified LUT rewrites: %zu z-path + %zu feedback + %zu MUX (beta)\n",
               plain.lut1.size(), plain.feedback.size(), plain.mux_patches);
 
-  // ...and the production runtime configuration (probe cache + pool).
+  // ...the runtime configuration on one thread (probe cache + 64-lane
+  // bit-sliced batches, no pool)...
+  double wall_runtime_1t = 0;
+  const AttackResult batched_1t = run_once(true, nullptr, 64, &wall_runtime_1t);
+  // ...and the full production configuration (cache + batches + pool).
   double wall_runtime = 0;
-  const AttackResult cached = run_once(true, true, &wall_runtime);
-  std::printf("with probe cache + pool: %zu true runs + %zu cache hits, %.2fs vs %.2fs\n\n",
-              cached.oracle_runs, cached.cache_hits, wall_runtime, wall_plain);
+  const AttackResult cached = run_once(true, &runtime::ThreadPool::global(), 64, &wall_runtime);
+  std::printf("with probe cache + 64-lane batches: %zu true runs + %zu cache hits\n",
+              cached.oracle_runs, cached.cache_hits);
+  std::printf("wall: %.2fs plain, %.2fs batched 1 thread, %.2fs batched %u threads\n",
+              wall_plain, wall_runtime_1t, wall_runtime,
+              runtime::ThreadPool::global().concurrency());
+  const bool identical = plain.success && cached.success &&
+                         plain.faulty_keystream == cached.faulty_keystream &&
+                         plain.secrets.key == cached.secrets.key &&
+                         batched_1t.faulty_keystream == cached.faulty_keystream &&
+                         batched_1t.oracle_runs == cached.oracle_runs;
+  std::printf("scalar/batched results identical: %s\n\n", identical ? "yes" : "NO (BUG)");
 
   JsonWriter w;
   w.begin_object();
   w.field("bench", "attack_e2e");
   w.field("threads", u64{runtime::ThreadPool::global().concurrency()});
-  w.key("plain").begin_object();
-  w.field("wall_seconds", wall_plain)
-      .field("oracle_runs", plain.oracle_runs)
-      .field("cache_hits", plain.cache_hits)
-      .field("probe_calls", plain.probe_calls);
-  w.end_object();
-  w.key("runtime").begin_object();
-  w.field("wall_seconds", wall_runtime)
-      .field("oracle_runs", cached.oracle_runs)
-      .field("cache_hits", cached.cache_hits)
-      .field("probe_calls", cached.probe_calls);
-  w.end_object();
+  w.field("results_identical", identical);
+  auto entry = [&w](const char* name, const AttackResult& r, double wall) {
+    w.key(name).begin_object();
+    w.field("wall_seconds", wall)
+        .field("oracle_runs", r.oracle_runs)
+        .field("cache_hits", r.cache_hits)
+        .field("probe_calls", r.probe_calls);
+    w.end_object();
+  };
+  entry("plain", plain, wall_plain);
+  entry("runtime_1t", batched_1t, wall_runtime_1t);
+  entry("runtime", cached, wall_runtime);
   w.key("phase_oracle_runs").begin_object();
   for (const auto& [phase, runs] : cached.phase_runs) w.field(phase, runs);
   w.end_object();
@@ -94,7 +109,7 @@ void print_cost_breakdown() {
 void BM_FullAttack(benchmark::State& state) {
   const fpga::System& sys = system_instance();
   for (auto _ : state) {
-    DeviceOracle oracle(sys, kIv);
+    DeviceOracle oracle(sys, kIv, nullptr, /*batch_width=*/1);
     PipelineConfig cfg;
     cfg.iv = kIv;
     Attack attack(oracle, sys.golden.bytes, cfg);
@@ -108,7 +123,7 @@ BENCHMARK(BM_FullAttack)->Unit(benchmark::kSecond)->Iterations(1);
 void BM_FullAttackCached(benchmark::State& state) {
   const fpga::System& sys = system_instance();
   for (auto _ : state) {
-    DeviceOracle oracle(sys, kIv);
+    DeviceOracle oracle(sys, kIv, &runtime::ThreadPool::global());
     runtime::ProbeCache cache;
     PipelineConfig cfg;
     cfg.iv = kIv;

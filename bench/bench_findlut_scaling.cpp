@@ -6,11 +6,13 @@
 // exponential-constant version the optimized scan replaces).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "attack/findlut.h"
 #include "attack/scan.h"
 #include "bitstream/patcher.h"
+#include "common/json.h"
 #include "common/rng.h"
 
 namespace {
@@ -64,11 +66,44 @@ void BM_FindLutNaiveAlgorithm1(benchmark::State& state) {
 }
 BENCHMARK(BM_FindLutNaiveAlgorithm1)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 
+/// One timed measurement per bitstream size, written to
+/// BENCH_findlut_scaling.json so the scan's performance trajectory is
+/// tracked across PRs alongside the google-benchmark numbers.
+void write_bench_json() {
+  const logic::TruthTable6 f = logic::table2_candidate("f2").function;
+  FindLutOptions opt;
+  opt.offset_d = 404;
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "findlut_scaling");
+  w.key("optimized").begin_array();
+  for (const size_t mb : {1, 5, 10}) {
+    const auto bytes = synthetic_bitstream(mb * 1000 * 1000, 32);
+    const auto start = std::chrono::steady_clock::now();
+    const auto matches = find_lut(bytes, f, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    w.begin_object();
+    w.field("megabytes", mb).field("wall_seconds", wall).field("matches", matches.size());
+    w.end_object();
+    std::printf("FINDLUT %2zu MB: %.3fs, %zu matches (paper claim: < 4 s at 10 MB)\n", mb, wall,
+                matches.size());
+  }
+  w.end_array();
+  w.end_object();
+  if (std::FILE* file = std::fopen("BENCH_findlut_scaling.json", "w")) {
+    std::fwrite(w.str().data(), 1, w.str().size(), file);
+    std::fclose(file);
+    std::printf("wrote BENCH_findlut_scaling.json\n\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("=== Section VI-B claim: FINDLUT < 4 s on a < 10 MB bitstream (k = 6) ===\n");
   std::printf("BM_FindLutOptimized/10 below is the 10 MB measurement to compare.\n\n");
+  write_bench_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,9 +5,11 @@
 // whole recovery pipeline.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/hex.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "snow3g/reverse.h"
 #include "snow3g/snow3g.h"
@@ -24,6 +26,40 @@ constexpr const char* kPaperTable5[16] = {
     "d429ba60", "7d3a4cff", "6ad3b6ef", "b77e00b7", "2bd6459f", "82c5b300",
     "952c4910", "4881ff48", "d429ba60", "6131b8a0", "b5cc2dca", "b77e00b7",
     "868a081b", "82c5b300", "952c4910", "a283b85c"};
+
+/// Reproduction status + a timed recovery measurement, written to
+/// BENCH_table5_key_recovery.json for cross-PR tracking.
+void write_bench_json() {
+  Snow3g cipher(kPaperKey, kPaperIv, FaultConfig::full_attack());
+  const std::vector<u32> z = cipher.keystream(16);
+  const LfsrState s0 = state_from_faulty_keystream(z);
+  bool state_ok = true;
+  for (int i = 0; i < 16; ++i) {
+    state_ok = state_ok && hex32(s0[static_cast<size_t>(i)]) == kPaperTable5[i];
+  }
+  const auto secrets = extract_key(s0);
+  constexpr int kIters = 10000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto r = recover_from_keystream(z);
+    benchmark::DoNotOptimize(r);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "table5_key_recovery")
+      .field("state_reproduced", state_ok)
+      .field("key_match", secrets && secrets->key == kPaperKey)
+      .field("recoveries_per_second", kIters / wall)
+      .field("recovery_microseconds", wall / kIters * 1e6);
+  w.end_object();
+  if (std::FILE* f = std::fopen("BENCH_table5_key_recovery.json", "w")) {
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_table5_key_recovery.json\n\n");
+  }
+}
 
 void print_table5_reproduction() {
   std::printf("=== Table V: recovered initial LFSR state S^0 ===\n");
@@ -82,6 +118,7 @@ BENCHMARK(BM_FullRecoveryPipeline);
 
 int main(int argc, char** argv) {
   print_table5_reproduction();
+  write_bench_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

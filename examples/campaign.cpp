@@ -28,6 +28,7 @@ void usage(const char* argv0) {
       "  --seed S             master seed (default 0x5eedc0de)\n"
       "  --protected-every K  every K-th trial uses the protected design (default 0 = never)\n"
       "  --words W            keystream words per probe (default 16)\n"
+      "  --batch-width W      oracle probes packed per bit-sliced batch, 1-64 (default 64)\n"
       "  --no-cache           disable the probe cache\n"
       "  --serial-scan        keep FINDLUT scans single-threaded inside trials\n"
       "  --json FILE          also write the JSON report to FILE\n"
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
       opt.protected_every = static_cast<size_t>(std::strtoull(next(), nullptr, 0));
     } else if (arg == "--words") {
       opt.words = static_cast<size_t>(std::strtoull(next(), nullptr, 0));
+    } else if (arg == "--batch-width") {
+      opt.batch_width = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--no-cache") {
       opt.use_probe_cache = false;
     } else if (arg == "--serial-scan") {

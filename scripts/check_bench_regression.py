@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Guard against attack-pipeline wall-clock regressions.
+
+Compares a freshly generated BENCH_attack_e2e.json (written by
+build/bench/bench_attack_e2e into its working directory) against the
+baseline committed at the repository root.  Fails when the runtime
+configuration's wall_seconds regressed by more than the threshold, or when
+the scalar/batched bit-identity flag went false.
+
+Usage:
+    scripts/check_bench_regression.py FRESH_JSON [BASELINE_JSON]
+
+BASELINE_JSON defaults to BENCH_attack_e2e.json next to this repository's
+root.  Exit code 0 = within budget, 1 = regression or malformed input.
+"""
+
+import json
+import pathlib
+import sys
+
+THRESHOLD = 1.25  # fail when fresh wall-clock > 125% of the baseline
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_attack_e2e.json"
+    )
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+
+    ok = True
+    if fresh.get("results_identical") is False:
+        print("FAIL: scalar and batched attack results diverged (results_identical=false)")
+        ok = False
+
+    for entry in ("runtime", "runtime_1t"):
+        base = baseline.get(entry, {}).get("wall_seconds")
+        new = fresh.get(entry, {}).get("wall_seconds")
+        if base is None or new is None:
+            # Older baselines predate runtime_1t; only the entries both files
+            # carry are comparable.
+            continue
+        budget = base * THRESHOLD
+        status = "ok" if new <= budget else "REGRESSED"
+        print(f"{entry}: {new:.3f}s vs baseline {base:.3f}s (budget {budget:.3f}s) {status}")
+        if new > budget:
+            ok = False
+
+    if not ok:
+        return 1
+    print("bench within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 
 #include "common/bits.h"
 #include "fpga/system.h"
+#include "runtime/thread_pool.h"
 #include "snow3g/snow3g.h"
 
 namespace sbm::attack {
@@ -21,6 +22,18 @@ class Oracle {
   /// words.  Returns std::nullopt if the device rejects the bitstream.
   virtual std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) = 0;
 
+  /// Runs a batch of independent candidates; element i is run(bitstreams[i],
+  /// words).  Each element still costs one reconfiguration in the paper's
+  /// metric (runs() grows by bitstreams.size()) — batching only changes
+  /// host-side wall clock, not attack cost.  The default loops over run().
+  virtual std::vector<std::optional<std::vector<u32>>> run_batch(
+      std::span<const std::vector<u8>> bitstreams, size_t words) {
+    std::vector<std::optional<std::vector<u32>>> out;
+    out.reserve(bitstreams.size());
+    for (const auto& b : bitstreams) out.push_back(run(b, words));
+    return out;
+  }
+
   /// Number of configuration+keystream runs performed so far (the paper's
   /// cost metric: each run is a physical reconfiguration of the board).
   size_t runs() const { return runs_; }
@@ -31,15 +44,27 @@ class Oracle {
 
 /// Oracle backed by the simulated FPGA device.  The IV is whatever the host
 /// application uses; the attacker only needs it to be stable across runs.
+///
+/// run_batch packs up to `batch_width` candidates into the lanes of one
+/// bit-sliced BatchDevice (sharding the chunks across `pool` when given);
+/// results are bit-identical to the scalar path for any width/thread count.
 class DeviceOracle : public Oracle {
  public:
-  DeviceOracle(const fpga::System& system, const snow3g::Iv& iv) : system_(system), iv_(iv) {}
+  DeviceOracle(const fpga::System& system, const snow3g::Iv& iv,
+               runtime::ThreadPool* pool = nullptr, unsigned batch_width = 64)
+      : system_(system), iv_(iv), pool_(pool), batch_width_(batch_width) {}
 
   std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override;
+  std::vector<std::optional<std::vector<u32>>> run_batch(
+      std::span<const std::vector<u8>> bitstreams, size_t words) override;
 
  private:
+  std::optional<std::vector<u32>> run_one(std::span<const u8> bitstream, size_t words) const;
+
   const fpga::System& system_;
   snow3g::Iv iv_;
+  runtime::ThreadPool* pool_ = nullptr;
+  unsigned batch_width_ = 64;
 };
 
 }  // namespace sbm::attack

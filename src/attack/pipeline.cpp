@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "attack/countermeasure.h"
 #include "attack/scan.h"
@@ -51,6 +52,59 @@ std::optional<std::vector<u32>> Attack::probe(const std::vector<u8>& bytes) {
   auto result = oracle_.run(bytes, config_.words);
   config_.cache->store(key, result);
   return result;
+}
+
+std::vector<std::optional<std::vector<u32>>> Attack::probe_batch(
+    std::span<const std::vector<u8>> batch) {
+  probe_calls_ += batch.size();
+  if (config_.cache == nullptr) return oracle_.run_batch(batch, config_.words);
+
+  // Cache-aware batching, equivalent to probing the elements in order: each
+  // element does exactly one cache lookup; the unique misses run as one
+  // oracle batch and are stored; an in-batch duplicate of a miss does its
+  // lookup after that store, so it hits — the same interaction sequence the
+  // serial loop produces.
+  const size_t n = batch.size();
+  std::vector<std::optional<std::vector<u32>>> out(n);
+  struct KeyHash {
+    size_t operator()(const runtime::ProbeKey& k) const {
+      return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull) ^ k.words);
+    }
+  };
+  std::vector<runtime::ProbeKey> keys(n);
+  std::unordered_map<runtime::ProbeKey, size_t, KeyHash> first_miss;  // key -> batch index
+  std::vector<std::vector<u8>> misses;
+  std::vector<size_t> miss_index;
+  std::vector<size_t> dups;
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = runtime::make_probe_key(batch[i], config_.words);
+    if (first_miss.count(keys[i])) {
+      dups.push_back(i);  // lookup deferred until after the miss is stored
+      continue;
+    }
+    if (auto cached = config_.cache->lookup(keys[i])) {
+      ++cache_hits_;
+      out[i] = std::move(*cached);
+      continue;
+    }
+    first_miss.emplace(keys[i], i);
+    misses.push_back(batch[i]);
+    miss_index.push_back(i);
+  }
+  if (!misses.empty()) {
+    auto results = oracle_.run_batch(misses, config_.words);
+    for (size_t k = 0; k < misses.size(); ++k) {
+      config_.cache->store(keys[miss_index[k]], results[k]);
+      out[miss_index[k]] = std::move(results[k]);
+    }
+  }
+  for (const size_t i : dups) {
+    if (auto cached = config_.cache->lookup(keys[i])) {
+      ++cache_hits_;
+      out[i] = std::move(*cached);
+    }
+  }
+  return out;
 }
 
 std::vector<u8> Attack::with_patches(const std::vector<u8>& base,
@@ -341,9 +395,10 @@ bool Attack::phase_feedback(AttackResult& result) {
   std::set<unsigned> covered;
   std::set<size_t> z_claimed;
   for (const ZPathLut& z : result.lut1) z_claimed.insert(z.match.byte_index);
-  auto try_rewrite = [&](FeedbackLut lut, u64 stored) {
-    if (apply_feedback_rewrite(stored, lut) == stored) return false;  // no-op
-    const auto z = probe(with_patches(base_beta, {feedback_patch(base_beta, base_beta, lut)}));
+  // Classification of one probe result; the probes themselves run in
+  // batched rounds (probe_batch) because no rewrite's outcome influences
+  // which other rewrites of the same round are probed.
+  auto classify = [&](FeedbackLut lut, const std::optional<std::vector<u32>>& z) {
     if (!z || *z == no_effect) return false;
     const auto it = signature_to_bit.find(*z);
     if (it == signature_to_bit.end()) return false;
@@ -356,7 +411,9 @@ bool Attack::phase_feedback(AttackResult& result) {
   // Stage 1 — precise probes on family matches: the candidate says exactly
   // which stored variables form the hypothesized XOR group; cofactor them
   // all to 0 (the generalization of the paper's Eq. (1)).  The family scan
-  // fans out across the pool; the probes that follow stay strictly ordered.
+  // fans out across the pool; the probes batch per candidate — each match
+  // list is planned up front, probed in 64-lane batches, and classified in
+  // match order, so the outcome is independent of batch width and threads.
   std::vector<Candidate> fb_family;
   for (const Candidate& c : attack_family()) {
     if (c.path == logic::TargetPath::kFeedback) fb_family.push_back(c);
@@ -365,24 +422,31 @@ bool Attack::phase_feedback(AttackResult& result) {
   for (size_t ci = 0; ci < fb_counts.size(); ++ci) {
     const Candidate& c = fb_family[ci];
     if (covered.size() == 32) break;
+    std::vector<FeedbackLut> round;
+    std::vector<std::vector<u8>> probes;
+    auto plan = [&](FeedbackLut lut) {
+      const u64 stored =
+          bitstream::read_lut_init(base_beta, lut.byte_index, config_.find.offset_d, lut.order);
+      if (apply_feedback_rewrite(stored, lut) == stored) return;  // no-op: probe-free
+      probes.push_back(with_patches(base_beta, {feedback_patch(base_beta, base_beta, lut)}));
+      round.push_back(std::move(lut));
+    };
     for (const LutMatch& m : fb_counts[ci].matches) {
       if (z_claimed.count(m.byte_index)) continue;
       FeedbackLut lut{m.byte_index, m.order, -1, false, {}, 0};
       for (const u8 xv : c.xor_vars) lut.zero_vars.push_back(m.perm[xv]);
-      const u64 stored =
-          bitstream::read_lut_init(base_beta, m.byte_index, config_.find.offset_d, m.order);
-try_rewrite(std::move(lut), stored);
+      plan(std::move(lut));
     }
     if (c.function.support_size() <= 5 && !c.function.depends_on(5)) {
       for (const HalfMatch& h : find_lut_half(base_beta, c.function.half(0), config_.find)) {
         if (z_claimed.count(h.byte_index)) continue;
         FeedbackLut lut{h.byte_index, h.order, h.o5_half ? 0 : 1, false, {}, 0};
         for (const u8 xv : c.xor_vars) lut.zero_vars.push_back(h.perm[xv]);
-        const u64 stored =
-            bitstream::read_lut_init(base_beta, h.byte_index, config_.find.offset_d, h.order);
-        try_rewrite(std::move(lut), stored);
+        plan(std::move(lut));
       }
     }
+    const auto zs = probe_batch(probes);
+    for (size_t i = 0; i < round.size(); ++i) classify(std::move(round[i]), zs[i]);
   }
 
   // Stage 2 — generic sweep over every occupied, frame-aligned site, trying
@@ -433,59 +497,91 @@ try_rewrite(std::move(lut), stored);
     }
     return groups;
   };
-  auto sweep = [&](size_t l, const std::array<u8, 4>& order, int half, u64 stored,
-                   const TruthTable6& t, unsigned vars, unsigned group_size) {
-    if (group_size == 0) return try_rewrite({l, order, half, true, {}, 0}, stored);
-    bool hit = false;
-    for (const auto& g : groups_of(t, vars, group_size)) {
-      if (hit) break;
-      hit = try_rewrite({l, order, half, false, g, 0}, stored);
-    }
-    return hit;
-  };
-
   // Depth-major sweep: cheap rewrites first (the LUT is v, or v is a leaf),
-  // deeper XOR groups only while W bits remain unaccounted for.
+  // deeper XOR groups only while W bits remain unaccounted for.  The probes
+  // run in fixed windows of kWindowSites sites: every window's probe plan is
+  // a pure function of the state at window start (covered/classified sets,
+  // the immutable base_beta tables), so the same rewrites run — and the same
+  // hits are recorded, in the same site/segment/group order — regardless of
+  // batch width or thread count.  Within a window, the first recorded hit
+  // per (site, segment) wins and a hit at chunk order p exempts the site
+  // from order pass p+1, mirroring the serial sweep's settle-and-break.
   std::set<size_t> classified_sites;
   // Stage 1.5 — the s15 load MUXes that folded with the feedback tree (their
   // beta match used a mux_fold shape) are the prime suspects; sweep them to
   // full depth first so the broad fabric scan is usually never needed.
   std::vector<size_t> priority = fold_sites_;
   std::vector<size_t> broad = sites;
+  constexpr size_t kWindowSites = 16;
+  const auto orders = bitstream::device_chunk_orders();
   for (const bool widened : {false, true}) {
     if (covered.size() == 32) break;
-  for (unsigned group_size = 0; group_size <= 4 && covered.size() != 32; ++group_size) {
-    for (const size_t l : widened ? broad : priority) {
-      if (covered.size() == 32) break;
-      if (classified_sites.count(l)) continue;
-      for (const auto& order : bitstream::device_chunk_orders()) {
-        const u64 stored =
-            bitstream::read_lut_init(base_beta, l, config_.find.offset_d, order);
-        if (stored == 0) continue;
-        const u32 lo = static_cast<u32>(stored);
-        const u32 hi = static_cast<u32>(stored >> 32);
-        bool hit = false;
-        if (lo == hi) {
-          hit = sweep(l, order, -1, stored, TruthTable6(stored), 6, group_size);
-        } else {
-          // The attacker cannot tell a 6-input single-output LUT from a
-          // dual-output site, so try both interpretations: whole-table
-          // rewrites over 6 variables and per-half rewrites over 5.
-          hit = sweep(l, order, -1, stored, TruthTable6(stored), 6, group_size);
-          for (int half = 0; half < 2; ++half) {
-            const u32 h = half == 0 ? lo : hi;
-            hit = sweep(l, order, half, stored, TruthTable6(u64{h} | (u64{h} << 32)), 5,
-                        group_size) ||
-                  hit;
-          }
+    for (unsigned group_size = 0; group_size <= 4 && covered.size() != 32; ++group_size) {
+      const std::vector<size_t>& pool_sites = widened ? broad : priority;
+      size_t cursor = 0;
+      while (covered.size() != 32) {
+        std::vector<size_t> window;
+        while (cursor < pool_sites.size() && window.size() < kWindowSites) {
+          const size_t l = pool_sites[cursor++];
+          if (!classified_sites.count(l)) window.push_back(l);
         }
-        if (hit) {
-          classified_sites.insert(l);
-          break;  // the matching chunk order is settled for this site
+        if (window.empty()) break;
+        std::vector<char> site_hit(window.size(), 0);
+        for (size_t pass = 0; pass < orders.size() && covered.size() != 32; ++pass) {
+          const auto& order = orders[pass];
+          struct Gate {
+            size_t slot;  // index into window
+            int segment;  // 0 = whole table, 1 = O5 half, 2 = O6 half
+          };
+          std::vector<FeedbackLut> round;
+          std::vector<Gate> gates;
+          std::vector<std::vector<u8>> probes;
+          auto plan = [&](size_t slot, int segment, FeedbackLut lut, u64 stored) {
+            if (apply_feedback_rewrite(stored, lut) == stored) return;  // no-op: probe-free
+            probes.push_back(with_patches(base_beta, {feedback_patch(base_beta, base_beta, lut)}));
+            gates.push_back({slot, segment});
+            round.push_back(std::move(lut));
+          };
+          for (size_t slot = 0; slot < window.size(); ++slot) {
+            if (site_hit[slot]) continue;  // chunk order settled by an earlier pass
+            const size_t l = window[slot];
+            const u64 stored = bitstream::read_lut_init(base_beta, l, config_.find.offset_d, order);
+            if (stored == 0) continue;
+            const u32 lo = static_cast<u32>(stored);
+            const u32 hi = static_cast<u32>(stored >> 32);
+            auto plan_segment = [&](int segment, int half, const TruthTable6& t, unsigned vars) {
+              if (group_size == 0) {
+                plan(slot, segment, {l, order, half, true, {}, 0}, stored);
+              } else {
+                for (const auto& g : groups_of(t, vars, group_size)) {
+                  plan(slot, segment, {l, order, half, false, g, 0}, stored);
+                }
+              }
+            };
+            plan_segment(0, -1, TruthTable6(stored), 6);
+            if (lo != hi) {
+              // The attacker cannot tell a 6-input single-output LUT from a
+              // dual-output site, so try both interpretations: whole-table
+              // rewrites over 6 variables and per-half rewrites over 5.
+              plan_segment(1, 0, TruthTable6(u64{lo} | (u64{lo} << 32)), 5);
+              plan_segment(2, 1, TruthTable6(u64{hi} | (u64{hi} << 32)), 5);
+            }
+          }
+          if (probes.empty()) continue;
+          const auto zs = probe_batch(probes);
+          std::set<std::pair<size_t, int>> segment_hit;
+          for (size_t i = 0; i < round.size(); ++i) {
+            if (covered.size() == 32) break;
+            if (segment_hit.count({gates[i].slot, gates[i].segment})) continue;
+            if (classify(std::move(round[i]), zs[i])) {
+              segment_hit.insert({gates[i].slot, gates[i].segment});
+              site_hit[gates[i].slot] = 1;
+              classified_sites.insert(window[gates[i].slot]);
+            }
+          }
         }
       }
     }
-  }
   }
   note("feedback: covered " + std::to_string(covered.size()) + "/32 W bits with " +
        std::to_string(result.feedback.size()) + " LUT rewrites");

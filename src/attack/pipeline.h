@@ -120,6 +120,15 @@ class Attack {
   };
 
   std::optional<std::vector<u32>> probe(const std::vector<u8>& bytes);
+  /// Batch counterpart of probe(): element i is probe(batch[i]).  Probes
+  /// with no result dependency between them go through the oracle's batch
+  /// interface, which packs them into 64-lane bit-sliced device runs; the
+  /// cache (when configured) is consulted per element and in-batch
+  /// duplicates of a miss resolve as hits, exactly as the serial order
+  /// would.  Accounting is unchanged: every non-cached element is one
+  /// oracle run (one paper-cost reconfiguration).
+  std::vector<std::optional<std::vector<u32>>> probe_batch(
+      std::span<const std::vector<u8>> batch);
   std::vector<u8> with_patches(const std::vector<u8>& base, const std::vector<Patch>& patches);
   /// Replays a verified feedback rewrite for application on `base`.  The
   /// rewrite recipe was verified on the beta-patched table, so it is applied

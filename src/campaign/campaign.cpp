@@ -48,7 +48,8 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   const fpga::System sys = fpga::build_system(sys_opt);
   out.lut_sites = sys.placed.phys.size();
 
-  attack::DeviceOracle oracle(sys, iv);
+  attack::DeviceOracle oracle(sys, iv, options.scan_parallel ? pool : nullptr,
+                              options.batch_width);
   runtime::ProbeCache cache;
   attack::PipelineConfig cfg;
   cfg.words = options.words;
@@ -163,7 +164,8 @@ std::string CampaignReport::to_json() const {
       .field("protected_every", options.protected_every)
       .field("words", options.words)
       .field("use_probe_cache", options.use_probe_cache)
-      .field("scan_parallel", options.scan_parallel);
+      .field("scan_parallel", options.scan_parallel)
+      .field("batch_width", u64{options.batch_width});
   w.end_object();
 
   w.key("aggregate").begin_object();

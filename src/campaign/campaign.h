@@ -47,6 +47,10 @@ struct CampaignOptions {
   /// Hand each trial's FINDLUT scans the shared pool too (candidate and
   /// byte-range sharding inside a trial, on top of trial-level fan-out).
   bool scan_parallel = true;
+  /// Lanes per bit-sliced oracle batch (1..64).  1 selects the scalar
+  /// reference path; any width yields bit-identical trial outcomes (the
+  /// fingerprint() contract extends over this knob).
+  unsigned batch_width = 64;
   bool verbose = false;
 };
 

@@ -1,0 +1,49 @@
+// 64-lane batch view of the victim FPGA: up to 64 independent candidate
+// bitstreams configure the lanes of one bit-sliced simulator, then a single
+// simulation run produces every lane's keystream.
+//
+// Each lane is configured exactly like a scalar Device — the same parse /
+// CRC semantics, the same per-site INIT decode — but configuration starts
+// from the golden snapshot and only re-decodes the sites a candidate's
+// frame diff touches.  Candidates the fast path cannot prove safe go
+// through the full parser for that lane alone; rejected lanes simply yield
+// no keystream.  Lane keys may differ (a probe can patch the embedded key);
+// the IV is broadcast, matching the oracle's fixed host IV.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fpga/snapshot.h"
+
+namespace sbm::fpga {
+
+class BatchDevice {
+ public:
+  static constexpr unsigned kLanes = mapper::BatchLutSimulator::kLanes;
+
+  BatchDevice(const netlist::Snow3gDesign& design, const mapper::PlacedDesign& placed,
+              const bitstream::Layout& layout, const DeviceSnapshot& snapshot);
+
+  /// Configures lane `lane` from a candidate bitstream.  Returns false when
+  /// the device rejects it (the lane then yields nullopt from keystream()).
+  bool configure_lane(unsigned lane, std::span<const u8> bytes);
+
+  /// Runs the cipher once for all configured lanes; element i is lane i's
+  /// keystream (nullopt for rejected lanes).  `lanes` is the number of
+  /// lanes the caller configured (accepted or not).
+  std::vector<std::optional<std::vector<u32>>> keystream(const snow3g::Iv& iv, size_t n,
+                                                         unsigned lanes);
+
+ private:
+  const netlist::Snow3gDesign& design_;
+  const mapper::PlacedDesign& placed_;
+  bitstream::Layout layout_;
+  const DeviceSnapshot& snap_;
+  mapper::BatchLutSimulator sim_;
+  std::array<snow3g::Key, kLanes> keys_{};
+  u64 ok_mask_ = 0;
+};
+
+}  // namespace sbm::fpga

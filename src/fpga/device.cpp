@@ -4,17 +4,38 @@
 
 #include "bitstream/parser.h"
 #include "bitstream/patcher.h"
+#include "fpga/snapshot.h"
 #include "mapper/lut_network.h"
 
 namespace sbm::fpga {
 
 Device::Device(const netlist::Snow3gDesign& design, const mapper::PlacedDesign& placed,
-               const bitstream::Layout& layout)
-    : design_(design), placed_(placed), layout_(layout) {}
+               const bitstream::Layout& layout, const DeviceSnapshot* snapshot)
+    : design_(design), placed_(placed), layout_(layout), snapshot_(snapshot) {}
 
 bool Device::configure(std::span<const u8> bytes) {
   configured_ = false;
   error_.clear();
+
+  if (snapshot_) {
+    if (const auto diff = diff_against_golden(*snapshot_, bytes)) {
+      configured_luts_ = snapshot_->golden_luts;
+      for (const auto& [site, init] : diff->sites) {
+        const mapper::PhysicalLut& p = placed_.phys[site];
+        if (p.o6_lut >= 0) {
+          configured_luts_.luts[static_cast<size_t>(p.o6_lut)].function =
+              placed_.function_from_init(site, false, init);
+        }
+        if (p.o5_lut >= 0) {
+          configured_luts_.luts[static_cast<size_t>(p.o5_lut)].function =
+              placed_.function_from_init(site, true, init);
+        }
+      }
+      key_ = diff->key;
+      configured_ = true;
+      return true;
+    }
+  }
 
   const bitstream::ParseResult parsed = bitstream::parse_bitstream(bytes);
   if (!parsed.ok) {

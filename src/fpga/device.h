@@ -21,10 +21,16 @@
 
 namespace sbm::fpga {
 
+struct DeviceSnapshot;
+
 class Device {
  public:
+  /// `snapshot` (optional, must outlive the device) enables the incremental
+  /// configure fast path: candidates that differ from the golden bitstream
+  /// only inside the frame-data region skip the full parse and re-decode
+  /// only the touched LUT sites.  Acceptance behavior is unchanged.
   Device(const netlist::Snow3gDesign& design, const mapper::PlacedDesign& placed,
-         const bitstream::Layout& layout);
+         const bitstream::Layout& layout, const DeviceSnapshot* snapshot = nullptr);
 
   /// Loads a plain bitstream.  Returns false (see error()) on malformed
   /// packets, IDCODE mismatch or CRC failure.
@@ -48,6 +54,7 @@ class Device {
   const netlist::Snow3gDesign& design_;
   const mapper::PlacedDesign& placed_;
   bitstream::Layout layout_;
+  const DeviceSnapshot* snapshot_ = nullptr;
   mapper::LutNetwork configured_luts_;
   snow3g::Key key_{};
   bool configured_ = false;

@@ -1,0 +1,159 @@
+#include "fpga/snapshot.h"
+
+#include <cstring>
+
+#include "bitstream/patcher.h"
+
+namespace sbm::fpga {
+
+namespace {
+
+/// FNV-1a over the bytes outside [fdri, fdri + frame_len): the hash guard
+/// that lets diff_against_golden skip the byte-wise template compare for
+/// bitstreams that obviously do not match.
+u64 outside_hash(std::span<const u8> bytes, size_t fdri, size_t frame_len) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto feed = [&h](const u8* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 0x100000001b3ull;
+  };
+  feed(bytes.data(), fdri);
+  feed(bytes.data() + fdri + frame_len, bytes.size() - fdri - frame_len);
+  return h;
+}
+
+bool outside_equal(std::span<const u8> bytes, const std::vector<u8>& tmpl, size_t fdri,
+                   size_t frame_len) {
+  return std::memcmp(bytes.data(), tmpl.data(), fdri) == 0 &&
+         std::memcmp(bytes.data() + fdri + frame_len, tmpl.data() + fdri + frame_len,
+                     bytes.size() - fdri - frame_len) == 0;
+}
+
+}  // namespace
+
+std::shared_ptr<const DeviceSnapshot> build_snapshot(const netlist::Snow3gDesign& design,
+                                                     const mapper::PlacedDesign& placed,
+                                                     const bitstream::Layout& layout,
+                                                     std::span<const u8> golden) {
+  auto snap = std::make_shared<DeviceSnapshot>();
+  snap->golden.assign(golden.begin(), golden.end());
+  snap->golden_nocrc = snap->golden;
+  bitstream::disable_crc(snap->golden_nocrc);
+  snap->has_nocrc_template = snap->golden_nocrc != snap->golden;
+  snap->fdri = layout.fdri_byte_offset;
+  snap->frame_len = layout.frame_count * bitstream::kFrameBytes;
+  if (snap->fdri + snap->frame_len > snap->golden.size()) {
+    // Degenerate geometry (should not happen for assembled systems): leave
+    // the snapshot without fast-path data; diff_against_golden will refuse.
+    snap->frame_len = 0;
+    snap->fdri = 0;
+    snap->has_nocrc_template = false;
+  }
+  snap->outside_hash_golden = outside_hash(snap->golden, snap->fdri, snap->frame_len);
+  snap->outside_hash_nocrc = outside_hash(snap->golden_nocrc, snap->fdri, snap->frame_len);
+
+  // Owner map + per-site geometry.
+  snap->owner.assign(snap->frame_len, DeviceSnapshot::kOwnerInert);
+  snap->site_l.resize(placed.phys.size());
+  snap->site_order.resize(placed.phys.size());
+  for (size_t site = 0; site < placed.phys.size(); ++site) {
+    const size_t l = layout.site_byte_index(site);
+    snap->site_l[site] = l;
+    snap->site_order[site] = bitstream::chunk_order(placed.slice_of(site));
+    for (unsigned c = 0; c < bitstream::kSubVectors; ++c) {
+      for (unsigned b = 0; b < bitstream::kChunkBytes; ++b) {
+        const size_t idx = l - snap->fdri + c * bitstream::Layout::chunk_stride() + b;
+        if (idx < snap->owner.size()) snap->owner[idx] = static_cast<int>(site);
+      }
+    }
+  }
+  snap->key_l = layout.key_byte_index();
+  for (size_t b = 0; b < 16; ++b) {
+    const size_t idx = snap->key_l - snap->fdri + b;
+    if (idx < snap->owner.size()) snap->owner[idx] = DeviceSnapshot::kOwnerKey;
+  }
+
+  // Golden decode: same per-site reconstruction Device::configure performs,
+  // read once here so every probe starts from this configuration.
+  snap->golden_luts = placed.mapped;
+  for (size_t site = 0; site < placed.phys.size(); ++site) {
+    const u64 init = bitstream::read_lut_init(snap->golden, snap->site_l[site],
+                                              bitstream::Layout::chunk_stride(),
+                                              snap->site_order[site]);
+    const mapper::PhysicalLut& p = placed.phys[site];
+    if (p.o6_lut >= 0) {
+      snap->golden_luts.luts[static_cast<size_t>(p.o6_lut)].function =
+          placed.function_from_init(site, false, init);
+    }
+    if (p.o5_lut >= 0) {
+      snap->golden_luts.luts[static_cast<size_t>(p.o5_lut)].function =
+          placed.function_from_init(site, true, init);
+    }
+  }
+  for (size_t w = 0; w < 4; ++w) {
+    snap->golden_key[w] = load_be32(snap->golden.data() + snap->key_l + 4 * w);
+  }
+
+  // Compiled evaluation tape + lane-transposed golden tables.  Forcing the
+  // topo-order cache here keeps later concurrent simulator construction
+  // read-only on the Network.
+  design.net.topo_order();
+  snap->tape = std::make_shared<const mapper::BatchLutTape>(design.net, placed.mapped);
+  snap->golden_tables = snap->tape->transpose_tables(snap->golden_luts);
+  return snap;
+}
+
+std::optional<FrameDiff> diff_against_golden(const DeviceSnapshot& s, std::span<const u8> bytes) {
+  if (s.frame_len == 0 || bytes.size() != s.golden.size()) return std::nullopt;
+  const u64 h = outside_hash(bytes, s.fdri, s.frame_len);
+  const u8* cf = bytes.data() + s.fdri;
+  const u8* gf = s.golden.data() + s.fdri;
+
+  const bool nocrc_match = s.has_nocrc_template && h == s.outside_hash_nocrc &&
+                           outside_equal(bytes, s.golden_nocrc, s.fdri, s.frame_len);
+  if (!nocrc_match) {
+    // Pristine-golden fast path: only if the frame data is untouched too;
+    // any modification under an armed CRC must go through the real parser
+    // so the rejection (and its error string) is authentic.
+    if (h == s.outside_hash_golden && outside_equal(bytes, s.golden, s.fdri, s.frame_len) &&
+        std::memcmp(cf, gf, s.frame_len) == 0) {
+      FrameDiff d;
+      d.key = s.golden_key;
+      return d;
+    }
+    return std::nullopt;
+  }
+
+  FrameDiff d;
+  std::vector<char> seen(s.site_l.size(), 0);
+  auto diff_byte = [&](size_t i) {
+    if (cf[i] == gf[i]) return;
+    const int o = s.owner[i];
+    if (o == DeviceSnapshot::kOwnerKey) {
+      d.key_changed = true;
+    } else if (o >= 0 && !seen[static_cast<size_t>(o)]) {
+      seen[static_cast<size_t>(o)] = 1;
+      d.sites.emplace_back(static_cast<size_t>(o), 0);
+    }
+    // kOwnerInert bytes are padding the decode never reads; ignore them the
+    // way the full re-decode does.
+  };
+  size_t i = 0;
+  for (; i + 8 <= s.frame_len; i += 8) {
+    if (std::memcmp(cf + i, gf + i, 8) == 0) continue;
+    for (size_t j = i; j < i + 8; ++j) diff_byte(j);
+  }
+  for (; i < s.frame_len; ++i) diff_byte(i);
+
+  for (auto& [site, init] : d.sites) {
+    init = bitstream::read_lut_init(bytes, s.site_l[site], bitstream::Layout::chunk_stride(),
+                                    s.site_order[site]);
+  }
+  if (d.key_changed) {
+    for (size_t w = 0; w < 4; ++w) d.key[w] = load_be32(bytes.data() + s.key_l + 4 * w);
+  } else {
+    d.key = s.golden_key;
+  }
+  return d;
+}
+
+}  // namespace sbm::fpga

@@ -1,0 +1,79 @@
+// Golden-configuration snapshot: everything the device model can precompute
+// once per victim so that configuring a *patched* bitstream costs O(diff)
+// instead of O(sites).
+//
+// The snapshot records the golden bytes, the same bytes with the CRC check
+// disabled (the base every kDisable-mode probe is derived from), an owner
+// map telling which LUT site (or the key region) each frame-data byte
+// belongs to, the LUT functions decoded from the golden frame data, and the
+// compiled bit-sliced evaluation tape shared by every BatchLutSimulator.
+//
+// Fast-path invariant (diff_against_golden): a candidate bitstream is
+// diff-configurable iff it has the golden length and its bytes outside the
+// frame-data region equal one of the two templates byte-for-byte —
+//   * the CRC-disabled template: the packet stream parses exactly like the
+//     golden one and accepts any frame-data contents, so re-decoding the
+//     touched sites (and the key region) reproduces the full parse; or
+//   * the pristine golden template with frame data untouched as well (the
+//     candidate IS the golden bitstream).
+// Everything else — truncation, header edits, recomputed CRCs, frame edits
+// under an armed CRC — falls back to the full parser so rejection behavior
+// and error strings stay identical to the pre-snapshot device.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bitstream/assembler.h"
+#include "mapper/batch_lut_sim.h"
+#include "mapper/packing.h"
+#include "netlist/snow3g_design.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::fpga {
+
+struct DeviceSnapshot {
+  static constexpr int kOwnerInert = -1;  // padding/HCLK byte: decode ignores it
+  static constexpr int kOwnerKey = -2;    // embedded-key byte
+
+  std::vector<u8> golden;        // assembled bytes, CRC intact
+  std::vector<u8> golden_nocrc;  // golden with bitstream::disable_crc applied
+  bool has_nocrc_template = false;
+  u64 outside_hash_golden = 0;  // hash of the bytes outside the frame region
+  u64 outside_hash_nocrc = 0;
+  size_t fdri = 0;       // first frame-data byte
+  size_t frame_len = 0;  // frame-data bytes covered by the owner map
+
+  std::vector<int> owner;                      // frame byte -> site / key / inert
+  std::vector<size_t> site_l;                  // absolute byte index per site
+  std::vector<std::array<u8, 4>> site_order;   // chunk order per site
+  size_t key_l = 0;                            // absolute byte index of the key
+
+  mapper::LutNetwork golden_luts;  // functions decoded from the golden frames
+  snow3g::Key golden_key{};
+
+  std::shared_ptr<const mapper::BatchLutTape> tape;
+  std::vector<u64> golden_tables;  // transpose_tables(golden_luts)
+};
+
+/// One candidate's difference from the golden configuration.
+struct FrameDiff {
+  std::vector<std::pair<size_t, u64>> sites;  // (site index, candidate INIT)
+  bool key_changed = false;
+  snow3g::Key key{};  // candidate key (== golden_key when !key_changed)
+};
+
+std::shared_ptr<const DeviceSnapshot> build_snapshot(const netlist::Snow3gDesign& design,
+                                                     const mapper::PlacedDesign& placed,
+                                                     const bitstream::Layout& layout,
+                                                     std::span<const u8> golden);
+
+/// Returns the candidate's frame diff when the fast path applies (see the
+/// invariant above), nullopt when the caller must run the full parser.
+std::optional<FrameDiff> diff_against_golden(const DeviceSnapshot& snapshot,
+                                             std::span<const u8> bytes);
+
+}  // namespace sbm::fpga

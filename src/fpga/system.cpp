@@ -13,6 +13,7 @@ System build_system(const SystemOptions& options) {
   sys.mapped = mapper::map_network(sys.design.net, options.mapper);
   sys.placed = mapper::pack_and_place(sys.mapped, options.packing);
   sys.golden = bitstream::assemble(sys.placed, options.key);
+  sys.snapshot = build_snapshot(sys.design, sys.placed, sys.golden.layout, sys.golden.bytes);
   return sys;
 }
 

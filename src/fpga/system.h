@@ -6,7 +6,9 @@
 #include <memory>
 
 #include "bitstream/assembler.h"
+#include "fpga/batch_device.h"
 #include "fpga/device.h"
+#include "fpga/snapshot.h"
 #include "mapper/mapper.h"
 #include "mapper/packing.h"
 #include "netlist/snow3g_design.h"
@@ -28,8 +30,17 @@ struct System {
   bitstream::AssembledBitstream golden;
   SystemOptions options;
 
+  /// Golden-configuration snapshot enabling incremental reconfiguration and
+  /// the bit-sliced batch simulator (built once per system).
+  std::shared_ptr<const DeviceSnapshot> snapshot;
+
   /// Fresh device bound to this system's geometry (not yet configured).
-  Device make_device() const { return Device(design, placed, golden.layout); }
+  Device make_device() const { return Device(design, placed, golden.layout, snapshot.get()); }
+
+  /// Fresh 64-lane batch device (requires the snapshot, always built).
+  BatchDevice make_batch_device() const {
+    return BatchDevice(design, placed, golden.layout, *snapshot);
+  }
 
   /// Ground truth for evaluating the attack: byte indexes (FINDLUT's l) of
   /// every LUT whose cone contains the target node v[bit], split by path.

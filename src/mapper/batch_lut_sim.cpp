@@ -1,0 +1,195 @@
+#include "mapper/batch_lut_sim.h"
+
+#include <cstring>
+
+namespace sbm::mapper {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+BatchLutTape::BatchLutTape(const netlist::Network& net, const LutNetwork& mapped) : net_(net) {
+  table_offset_.resize(mapped.luts.size());
+  k_of_.resize(mapped.luts.size());
+  for (size_t i = 0; i < mapped.luts.size(); ++i) {
+    const u8 k = static_cast<u8>(mapped.luts[i].inputs.size());
+    table_offset_[i] = static_cast<u32>(table_words_);
+    k_of_[i] = k;
+    table_words_ += size_t{1} << k;
+  }
+
+  auto start_run = [this](Kind kind, u32 begin) {
+    if (!runs_.empty() && runs_.back().kind == kind) return;
+    runs_.push_back({kind, begin, begin});
+  };
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+      case NodeKind::kDff:
+        break;  // constants set at reset, inputs testbench-driven, DFFs preloaded
+      case NodeKind::kBramOut:
+        start_run(Kind::kBram, static_cast<u32>(bram_ops_.size()));
+        bram_ops_.push_back({id, n.bram, n.bram_bit});
+        runs_.back().end = static_cast<u32>(bram_ops_.size());
+        break;
+      case NodeKind::kCarry:
+        start_run(Kind::kCarry, static_cast<u32>(carry_ops_.size()));
+        carry_ops_.push_back({id, n.fanin[0], n.fanin[1], n.fanin[2]});
+        runs_.back().end = static_cast<u32>(carry_ops_.size());
+        break;
+      default: {
+        // Gate node: only LUT roots carry logic in the mapped view; interior
+        // nodes are covered by some LUT's cone and never evaluated.
+        const auto it = mapped.lut_of_root.find(id);
+        if (it == mapped.lut_of_root.end()) break;
+        const MappedLut& lut = mapped.luts[it->second];
+        LutOp op;
+        op.dst = id;
+        op.table_offset = table_offset_[it->second];
+        op.k = k_of_[it->second];
+        op.in.fill(netlist::kNoNode);
+        for (size_t j = 0; j < lut.inputs.size(); ++j) op.in[j] = lut.inputs[j];
+        start_run(Kind::kLut, static_cast<u32>(lut_ops_.size()));
+        lut_ops_.push_back(op);
+        runs_.back().end = static_cast<u32>(lut_ops_.size());
+        break;
+      }
+    }
+  }
+}
+
+std::vector<u64> BatchLutTape::transpose_tables(const LutNetwork& mapped) const {
+  std::vector<u64> out(table_words_, 0);
+  for (size_t i = 0; i < mapped.luts.size(); ++i) {
+    const u64 bits = mapped.luts[i].function.bits();
+    u64* t = &out[table_offset_[i]];
+    const unsigned n = 1u << k_of_[i];
+    for (unsigned m = 0; m < n; ++m) t[m] = ((bits >> m) & 1) ? ~u64{0} : 0;
+  }
+  return out;
+}
+
+BatchLutSimulator::BatchLutSimulator(std::shared_ptr<const BatchLutTape> tape)
+    : tape_(std::move(tape)),
+      value_(tape_->net().node_count(), 0),
+      state_(tape_->net().node_count(), 0),
+      tables_(tape_->table_words(), 0),
+      bram_out_(tape_->net().brams().size() * 32, 0),
+      bram_stamp_(tape_->net().brams().size(), 0) {
+  reset();
+}
+
+void BatchLutSimulator::set_tables(const LutNetwork& mapped) {
+  const std::vector<u64> t = tape_->transpose_tables(mapped);
+  set_tables(t);
+}
+
+void BatchLutSimulator::set_tables(std::span<const u64> transposed) {
+  std::memcpy(tables_.data(), transposed.data(), tables_.size() * sizeof(u64));
+}
+
+void BatchLutSimulator::set_lut_table(size_t lut_index, unsigned lane, u64 function_bits) {
+  u64* t = &tables_[tape_->table_offset(lut_index)];
+  const unsigned n = 1u << tape_->table_log2(lut_index);
+  const u64 mask = u64{1} << lane;
+  for (unsigned m = 0; m < n; ++m) {
+    t[m] = ((function_bits >> m) & 1) ? (t[m] | mask) : (t[m] & ~mask);
+  }
+}
+
+void BatchLutSimulator::set_input(NodeId input, bool v) { value_[input] = v ? ~u64{0} : 0; }
+
+void BatchLutSimulator::set_input_word(const netlist::Word& w, u32 v) {
+  for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(v, i) != 0);
+}
+
+void BatchLutSimulator::set_input_lane(NodeId input, unsigned lane, bool v) {
+  const u64 mask = u64{1} << lane;
+  value_[input] = v ? (value_[input] | mask) : (value_[input] & ~mask);
+}
+
+void BatchLutSimulator::set_input_word_lane(const netlist::Word& w, unsigned lane, u32 v) {
+  for (unsigned i = 0; i < 32; ++i) set_input_lane(w[i], lane, bit_of(v, i) != 0);
+}
+
+void BatchLutSimulator::eval_bram(u32 index) {
+  const netlist::Bram& b = tape_->net().brams()[index];
+  u64* out = &bram_out_[size_t{index} * 32];
+  for (unsigned i = 0; i < 32; ++i) out[i] = 0;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    u32 addr = 0;
+    for (unsigned i = 0; i < 32; ++i) addr |= static_cast<u32>((value_[b.inputs[i]] >> lane) & 1)
+                                              << i;
+    const u32 o = b.eval(addr);
+    for (unsigned i = 0; i < 32; ++i) out[i] |= u64{(o >> i) & 1} << lane;
+  }
+}
+
+void BatchLutSimulator::settle() {
+  ++stamp_;
+  const netlist::Network& net = tape_->net();
+  for (NodeId dff : net.dffs()) value_[dff] = state_[dff];
+  for (const BatchLutTape::Run& r : tape_->runs()) {
+    switch (r.kind) {
+      case BatchLutTape::Kind::kLut:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const BatchLutTape::LutOp& op = tape_->lut_ops()[i];
+          // Shannon mux tree over the lane-transposed table: level v halves
+          // the live table by selecting on input v's lane vector.
+          u64 s[64];
+          const u64* src = &tables_[op.table_offset];
+          unsigned n = 1u << op.k;
+          for (unsigned v = 0; v < op.k; ++v) {
+            const u64 x = value_[op.in[v]];
+            n >>= 1;
+            for (unsigned j = 0; j < n; ++j) s[j] = (src[2 * j] & ~x) | (src[2 * j + 1] & x);
+            src = s;
+          }
+          value_[op.dst] = src[0];
+        }
+        break;
+      case BatchLutTape::Kind::kCarry:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const BatchLutTape::CarryOp& op = tape_->carry_ops()[i];
+          const u64 a = value_[op.a], b = value_[op.b], c = value_[op.c];
+          value_[op.dst] = (a & b) | (c & (a ^ b));
+        }
+        break;
+      case BatchLutTape::Kind::kBram:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const BatchLutTape::BramOp& op = tape_->bram_ops()[i];
+          if (bram_stamp_[op.bram] != stamp_) {
+            eval_bram(op.bram);
+            bram_stamp_[op.bram] = stamp_;
+          }
+          value_[op.dst] = bram_out_[size_t{op.bram} * 32 + op.bit];
+        }
+        break;
+    }
+  }
+}
+
+void BatchLutSimulator::clock() {
+  const netlist::Network& net = tape_->net();
+  for (NodeId dff : net.dffs()) {
+    const NodeId d = net.node(dff).fanin[0];
+    state_[dff] = d == netlist::kNoNode ? 0 : value_[d];
+  }
+}
+
+u32 BatchLutSimulator::read_word_lane(const netlist::Word& w, unsigned lane) const {
+  u32 v = 0;
+  for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i], lane)} << i;
+  return v;
+}
+
+void BatchLutSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+  value_[tape_->net().const1()] = ~u64{0};
+}
+
+}  // namespace sbm::mapper

@@ -1,0 +1,134 @@
+// Bit-sliced 64-lane simulator for the mapped 6-LUT network.
+//
+// The scalar LutSimulator walks every netlist node each settle and hashes
+// each interior node against lut_of_root — ~4x more dispatches than there
+// are LUTs.  Here the (Network, LutNetwork) pair is compiled once into a
+// flat struct-of-arrays tape holding only the nodes that carry state or
+// logic: DFF loads, LUT evaluations, carry cells and BRAM lookups, grouped
+// into same-kind runs so the settle loop dispatches once per run.
+//
+// Truth tables are stored lane-transposed: a k-input LUT owns 2^k
+// consecutive u64 words, word m holding minterm m's value across all 64
+// lanes.  Evaluation is a bottom-up Shannon mux tree over the lane words —
+// 2^k - 1 select steps evaluate the LUT for 64 independent probes at once —
+// and each lane may carry a different table (the batch oracle's per-probe
+// INIT patches), which is exactly what set_lut_table(lut, lane, bits) edits.
+//
+// Lane semantics match mapper::LutSimulator bit-for-bit: lane l of this
+// simulator equals a scalar simulator configured with lane l's tables and
+// driven with lane l's inputs (tests/test_batch_sim.cpp).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mapper/lut_network.h"
+
+namespace sbm::mapper {
+
+/// Immutable evaluation tape compiled from one (Network, LutNetwork) pair.
+/// Construction walks the topo order once; instances are shared read-only by
+/// every BatchLutSimulator of the same victim (one per worker thread).
+class BatchLutTape {
+ public:
+  BatchLutTape(const netlist::Network& net, const LutNetwork& mapped);
+
+  struct LutOp {
+    netlist::NodeId dst;
+    u32 table_offset;  // first of 2^k lane-transposed table words
+    u8 k;              // structural input count (table width log2)
+    std::array<netlist::NodeId, 6> in;
+  };
+  struct CarryOp {
+    netlist::NodeId dst;
+    netlist::NodeId a, b, c;
+  };
+  struct BramOp {
+    netlist::NodeId dst;
+    u32 bram;
+    u8 bit;
+  };
+  enum class Kind : u8 { kLut, kCarry, kBram };
+  struct Run {
+    Kind kind;
+    u32 begin;
+    u32 end;
+  };
+
+  const netlist::Network& net() const { return net_; }
+  size_t lut_count() const { return table_offset_.size(); }
+  size_t table_words() const { return table_words_; }
+  /// Table geometry of mapped LUT `lut_index` (index into LutNetwork::luts).
+  u32 table_offset(size_t lut_index) const { return table_offset_[lut_index]; }
+  u8 table_log2(size_t lut_index) const { return k_of_[lut_index]; }
+
+  std::span<const Run> runs() const { return runs_; }
+  std::span<const LutOp> lut_ops() const { return lut_ops_; }
+  std::span<const CarryOp> carry_ops() const { return carry_ops_; }
+  std::span<const BramOp> bram_ops() const { return bram_ops_; }
+
+  /// Lane-transposed broadcast of a configuration: word m of LUT i is
+  /// all-ones iff bit m of luts[i].function is set.  The result seeds every
+  /// lane of a BatchLutSimulator in one memcpy (see set_tables).
+  std::vector<u64> transpose_tables(const LutNetwork& mapped) const;
+
+ private:
+  const netlist::Network& net_;
+  std::vector<Run> runs_;
+  std::vector<LutOp> lut_ops_;
+  std::vector<CarryOp> carry_ops_;
+  std::vector<BramOp> bram_ops_;
+  std::vector<u32> table_offset_;  // per mapped-LUT index
+  std::vector<u8> k_of_;           // per mapped-LUT index
+  size_t table_words_ = 0;
+};
+
+class BatchLutSimulator {
+ public:
+  static constexpr unsigned kLanes = 64;
+
+  explicit BatchLutSimulator(std::shared_ptr<const BatchLutTape> tape);
+
+  /// Loads the same configuration into every lane.
+  void set_tables(const LutNetwork& mapped);
+  /// Loads a precomputed lane-transposed table block (one memcpy; see
+  /// BatchLutTape::transpose_tables).
+  void set_tables(std::span<const u64> transposed);
+  /// Overrides one lane's table for one mapped LUT (per-probe INIT patch).
+  void set_lut_table(size_t lut_index, unsigned lane, u64 function_bits);
+
+  void set_input(netlist::NodeId input, bool value);  // broadcast
+  void set_input_word(const netlist::Word& w, u32 value);
+  void set_input_lane(netlist::NodeId input, unsigned lane, bool value);
+  void set_input_word_lane(const netlist::Word& w, unsigned lane, u32 value);
+
+  void settle();
+  void clock();
+  void step() {
+    settle();
+    clock();
+  }
+
+  u64 value_lanes(netlist::NodeId id) const { return value_[id]; }
+  bool value(netlist::NodeId id, unsigned lane) const {
+    return ((value_[id] >> lane) & 1) != 0;
+  }
+  u32 read_word_lane(const netlist::Word& w, unsigned lane) const;
+
+  void reset();
+
+ private:
+  void eval_bram(u32 index);
+
+  std::shared_ptr<const BatchLutTape> tape_;
+  std::vector<u64> value_;
+  std::vector<u64> state_;
+  std::vector<u64> tables_;  // lane-transposed truth tables, tape layout
+  std::vector<u64> bram_out_;
+  std::vector<u32> bram_stamp_;
+  u32 stamp_ = 0;
+};
+
+}  // namespace sbm::mapper

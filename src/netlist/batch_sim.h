@@ -1,0 +1,85 @@
+// Bit-sliced 64-lane simulator for Network.
+//
+// One u64 per net: bit l of a net's value is the net's value in lane l, so
+// up to 64 independent stimulus vectors advance through the design per
+// settle.  The network is compiled once into a flat evaluation tape —
+// same-kind nodes coalesce into runs dispatched with one switch per run
+// instead of one per node — and BRAM lookups are evaluated once per block
+// per settle by gathering the 32-bit address of every lane.
+//
+// Semantics match netlist::Simulator lane-for-lane: for any input schedule,
+// lane l of this simulator equals a scalar Simulator driven with lane l's
+// inputs (tests/test_batch_sim.cpp enforces this on random vectors).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sbm::netlist {
+
+class BatchSimulator {
+ public:
+  static constexpr unsigned kLanes = 64;
+
+  explicit BatchSimulator(const Network& net);
+
+  /// Broadcasts: drive the same value into every lane.
+  void set_input(NodeId input, bool value);
+  void set_input_word(const Word& w, u32 value);
+
+  /// Per-lane stimulus.
+  void set_input_lanes(NodeId input, u64 lanes) { value_[input] = lanes; }
+  void set_input_lane(NodeId input, unsigned lane, bool value);
+  void set_input_word_lane(const Word& w, unsigned lane, u32 value);
+
+  void settle();
+  void clock();
+  void step() {
+    settle();
+    clock();
+  }
+
+  u64 value_lanes(NodeId id) const { return value_[id]; }
+  bool value(NodeId id, unsigned lane) const { return ((value_[id] >> lane) & 1) != 0; }
+  u32 read_word_lane(const Word& w, unsigned lane) const;
+
+  /// Resets all registers and nets to 0 in every lane.
+  void reset();
+
+ private:
+  // One tape instruction; `c` is only used by carry cells.
+  struct Op {
+    NodeId dst;
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;
+    NodeId c = kNoNode;
+  };
+  struct BramOp {
+    NodeId dst;
+    u32 bram;
+    u8 bit;
+  };
+  enum class Kind : u8 { kAnd, kOr, kXor, kNot, kCarry, kBram };
+  struct Run {
+    Kind kind;
+    u32 begin;
+    u32 end;
+  };
+
+  void compile();
+  void eval_bram(u32 index);
+
+  const Network& net_;
+  std::vector<u64> value_;  // lane vector per net
+  std::vector<u64> state_;  // lane vector per DFF
+
+  std::vector<Run> runs_;
+  std::vector<Op> ops_;           // kAnd/kOr/kXor/kNot/kCarry operands
+  std::vector<BramOp> bram_ops_;  // one per BRAM output bit
+  std::vector<u64> bram_out_;     // 32 lane words per BRAM block
+  std::vector<u32> bram_stamp_;   // settle stamp of the last block eval
+  u32 stamp_ = 0;
+};
+
+}  // namespace sbm::netlist

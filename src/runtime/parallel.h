@@ -28,6 +28,15 @@ inline size_t shard_count(const ThreadPool* pool, size_t n, size_t min_grain = 1
   return std::max<size_t>(1, std::min({n, by_grain, by_threads}));
 }
 
+/// Number of fixed-size chunks covering [0, n): ceil(n / chunk).  Chunk c
+/// spans [c * chunk, min(n, (c + 1) * chunk)) — the tail chunk may be
+/// ragged.  Used to split batch work (e.g. 64-lane probe batches) so the
+/// chunk boundaries — and therefore per-chunk results — are independent of
+/// how many threads execute them.
+inline size_t chunk_count(size_t n, size_t chunk) {
+  return chunk == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
 /// Calls fn(i) for every i in [0, n).  fn must be safe to call concurrently
 /// for distinct i.
 template <typename Fn>

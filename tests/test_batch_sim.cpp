@@ -1,0 +1,288 @@
+// Lane-exactness of the bit-sliced simulators: every lane of
+// BatchSimulator / BatchLutSimulator / BatchDevice must equal the scalar
+// Simulator / LutSimulator / Device run with that lane's stimulus and
+// configuration — on thousands of random key/IV/patch vectors, for full and
+// ragged lane counts, and through the Device's incremental-configure fast
+// path (including rejected bitstreams).
+#include <gtest/gtest.h>
+
+#include "bitstream/patcher.h"
+#include "common/rng.h"
+#include "fpga/batch_device.h"
+#include "fpga/system.h"
+#include "mapper/batch_lut_sim.h"
+#include "mapper/lut_network.h"
+#include "netlist/batch_sim.h"
+#include "netlist/sim.h"
+
+namespace sbm {
+namespace {
+
+const fpga::System& shared_system() {
+  static const fpga::System sys = fpga::build_system();
+  return sys;
+}
+
+/// One keystream transaction — warm-up, load, 32 init rounds, discarded
+/// clock, `words` generated words — on any simulator exposing the scalar
+/// input API (netlist::Simulator, mapper::LutSimulator, or a lane adapter).
+template <typename Sim, typename SetWord, typename ReadWord>
+std::vector<u32> drive_keystream(const netlist::Snow3gDesign& design, Sim& sim, SetWord set_word,
+                                 ReadWord read_word, const snow3g::Key& key, const snow3g::Iv& iv,
+                                 size_t words) {
+  for (size_t i = 0; i < 4; ++i) {
+    set_word(design.key[i], key[i]);
+    set_word(design.iv[i], iv[i]);
+  }
+  auto drive = [&](bool load, bool init, bool gen) {
+    sim.set_input(design.load, load);
+    sim.set_input(design.init, init);
+    sim.set_input(design.gen, gen);
+  };
+  drive(false, false, false);
+  sim.step();
+  drive(true, false, false);
+  sim.step();
+  for (int round = 0; round < 32; ++round) {
+    drive(false, true, false);
+    sim.step();
+  }
+  drive(false, false, true);
+  sim.step();
+  std::vector<u32> z;
+  for (size_t t = 0; t < words; ++t) {
+    drive(false, false, true);
+    sim.settle();
+    z.push_back(read_word(design.z));
+    sim.clock();
+  }
+  return z;
+}
+
+struct LaneVector {
+  snow3g::Key key{};
+  snow3g::Iv iv{};
+  size_t lut = 0;  // mapped-LUT index whose table this lane overrides
+  u64 bits = 0;    // override function bits
+};
+
+/// Runs `lanes.size()` probes through one BatchLutSimulator and checks every
+/// lane against a scalar LutSimulator configured and driven identically.
+void check_lut_batch(const fpga::System& sys, const std::vector<LaneVector>& lanes,
+                     size_t words) {
+  mapper::BatchLutSimulator batch(sys.snapshot->tape);
+  batch.set_tables(sys.snapshot->golden_tables);
+  for (size_t l = 0; l < lanes.size(); ++l) {
+    batch.set_lut_table(lanes[l].lut, static_cast<unsigned>(l), lanes[l].bits);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      batch.set_input_word_lane(sys.design.key[i], static_cast<unsigned>(l), lanes[l].key[i]);
+      batch.set_input_word_lane(sys.design.iv[i], static_cast<unsigned>(l), lanes[l].iv[i]);
+    }
+  }
+  auto drive = [&](bool load, bool init, bool gen) {
+    batch.set_input(sys.design.load, load);
+    batch.set_input(sys.design.init, init);
+    batch.set_input(sys.design.gen, gen);
+  };
+  drive(false, false, false);
+  batch.step();
+  drive(true, false, false);
+  batch.step();
+  for (int round = 0; round < 32; ++round) {
+    drive(false, true, false);
+    batch.step();
+  }
+  drive(false, false, true);
+  batch.step();
+  std::vector<std::vector<u32>> z(lanes.size());
+  for (size_t t = 0; t < words; ++t) {
+    drive(false, false, true);
+    batch.settle();
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      z[l].push_back(batch.read_word_lane(sys.design.z, static_cast<unsigned>(l)));
+    }
+    batch.clock();
+  }
+
+  for (size_t l = 0; l < lanes.size(); ++l) {
+    mapper::LutNetwork luts = sys.snapshot->golden_luts;
+    luts.luts[lanes[l].lut].function = logic::TruthTable6(lanes[l].bits);
+    mapper::LutSimulator scalar(sys.design.net, luts);
+    const std::vector<u32> expect = drive_keystream(
+        sys.design, scalar,
+        [&](const netlist::Word& w, u32 v) { scalar.set_input_word(w, v); },
+        [&](const netlist::Word& w) { return scalar.read_word(w); }, lanes[l].key, lanes[l].iv,
+        words);
+    ASSERT_EQ(z[l], expect) << "lane " << l << " of " << lanes.size();
+  }
+}
+
+std::vector<LaneVector> random_lanes(Rng& rng, size_t count, size_t lut_count) {
+  std::vector<LaneVector> lanes(count);
+  for (LaneVector& l : lanes) {
+    l.key = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    l.iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    l.lut = rng.next_u64() % lut_count;
+    l.bits = rng.next_u64();
+  }
+  return lanes;
+}
+
+TEST(BatchLutSim, MatchesScalarOnTenThousandRandomVectors) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0xba7c4);
+  constexpr size_t kBatches = 157;  // 157 * 64 = 10048 random probe vectors
+  for (size_t b = 0; b < kBatches; ++b) {
+    check_lut_batch(sys, random_lanes(rng, 64, sys.snapshot->golden_luts.luts.size()),
+                    /*words=*/2);
+  }
+}
+
+TEST(BatchLutSim, RaggedLaneCountsMatchScalar) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0x7a66ed);
+  for (const size_t count : {size_t{1}, size_t{7}, size_t{63}}) {
+    check_lut_batch(sys, random_lanes(rng, count, sys.snapshot->golden_luts.luts.size()),
+                    /*words=*/3);
+  }
+}
+
+TEST(BatchNetlistSim, MatchesScalarSimulatorLaneForLane) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0x5eed);
+  constexpr size_t kLanes = 64;
+  constexpr size_t kWords = 2;
+  std::vector<snow3g::Key> keys(kLanes);
+  std::vector<snow3g::Iv> ivs(kLanes);
+  for (size_t l = 0; l < kLanes; ++l) {
+    keys[l] = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    ivs[l] = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+  }
+
+  netlist::BatchSimulator batch(sys.design.net);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      batch.set_input_word_lane(sys.design.key[i], static_cast<unsigned>(l), keys[l][i]);
+      batch.set_input_word_lane(sys.design.iv[i], static_cast<unsigned>(l), ivs[l][i]);
+    }
+  }
+  auto drive = [&](bool load, bool init, bool gen) {
+    batch.set_input(sys.design.load, load);
+    batch.set_input(sys.design.init, init);
+    batch.set_input(sys.design.gen, gen);
+  };
+  drive(false, false, false);
+  batch.step();
+  drive(true, false, false);
+  batch.step();
+  for (int round = 0; round < 32; ++round) {
+    drive(false, true, false);
+    batch.step();
+  }
+  drive(false, false, true);
+  batch.step();
+  std::vector<std::vector<u32>> z(kLanes);
+  for (size_t t = 0; t < kWords; ++t) {
+    drive(false, false, true);
+    batch.settle();
+    for (size_t l = 0; l < kLanes; ++l) {
+      z[l].push_back(batch.read_word_lane(sys.design.z, static_cast<unsigned>(l)));
+    }
+    batch.clock();
+  }
+
+  for (size_t l = 0; l < kLanes; ++l) {
+    netlist::Simulator scalar(sys.design.net);
+    const std::vector<u32> expect = drive_keystream(
+        sys.design, scalar,
+        [&](const netlist::Word& w, u32 v) { scalar.set_input_word(w, v); },
+        [&](const netlist::Word& w) { return scalar.read_word(w); }, keys[l], ivs[l], kWords);
+    ASSERT_EQ(z[l], expect) << "lane " << l;
+  }
+}
+
+/// Candidate bitstreams exercising every configure path: the golden bytes,
+/// the CRC-disabled template (empty diff), LUT INIT patches, a key patch,
+/// a frame edit under an armed CRC (rejected), and a truncation (rejected).
+std::vector<std::vector<u8>> candidate_bitstreams(const fpga::System& sys, Rng& rng,
+                                                  size_t patched) {
+  std::vector<std::vector<u8>> out;
+  out.push_back(sys.golden.bytes);
+  std::vector<u8> nocrc = sys.golden.bytes;
+  bitstream::disable_crc(nocrc);
+  out.push_back(nocrc);
+  for (size_t i = 0; i < patched; ++i) {
+    std::vector<u8> bytes = nocrc;
+    const size_t touches = 1 + rng.next_u64() % 3;
+    for (size_t t = 0; t < touches; ++t) {
+      const size_t site = rng.next_u64() % sys.placed.phys.size();
+      bitstream::write_lut_init(bytes, sys.golden.layout.site_byte_index(site),
+                                bitstream::Layout::chunk_stride(),
+                                bitstream::chunk_order(sys.placed.slice_of(site)),
+                                rng.next_u64());
+    }
+    out.push_back(std::move(bytes));
+  }
+  std::vector<u8> keyed = nocrc;
+  for (size_t b = 0; b < 16; ++b) {
+    keyed[sys.golden.layout.key_byte_index() + b] = static_cast<u8>(rng.next_u64());
+  }
+  out.push_back(std::move(keyed));
+  std::vector<u8> armed = sys.golden.bytes;  // CRC still active: must reject
+  armed[sys.golden.layout.fdri_byte_offset] ^= 0xff;
+  out.push_back(std::move(armed));
+  out.push_back(std::vector<u8>(sys.golden.bytes.begin(), sys.golden.bytes.end() - 7));
+  return out;
+}
+
+TEST(BatchDevice, MatchesScalarDevicePerLaneIncludingRejections) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0xd31c3);
+  constexpr snow3g::Iv kIv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+  const auto candidates = candidate_bitstreams(sys, rng, 12);
+  ASSERT_LE(candidates.size(), fpga::BatchDevice::kLanes);
+
+  fpga::BatchDevice batch = sys.make_batch_device();
+  std::vector<bool> accepted;
+  for (size_t l = 0; l < candidates.size(); ++l) {
+    accepted.push_back(batch.configure_lane(static_cast<unsigned>(l), candidates[l]));
+  }
+  const auto z = batch.keystream(kIv, 8, static_cast<unsigned>(candidates.size()));
+
+  for (size_t l = 0; l < candidates.size(); ++l) {
+    fpga::Device device = sys.make_device();
+    const bool ok = device.configure(candidates[l]);
+    EXPECT_EQ(accepted[l], ok) << "lane " << l;
+    if (ok) {
+      ASSERT_TRUE(z[l].has_value()) << "lane " << l;
+      EXPECT_EQ(*z[l], device.keystream(kIv, 8)) << "lane " << l;
+    } else {
+      EXPECT_FALSE(z[l].has_value()) << "lane " << l;
+    }
+  }
+}
+
+TEST(DeviceSnapshot, FastPathMatchesFullParseBehavior) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0xfa57);
+  constexpr snow3g::Iv kIv = {0x01234567, 0x89abcdef, 0xdeadbeef, 0x0badf00d};
+  for (const auto& bytes : candidate_bitstreams(sys, rng, 8)) {
+    fpga::Device fast = sys.make_device();  // snapshot-backed
+    fpga::Device slow(sys.design, sys.placed, sys.golden.layout);  // full parse always
+    const bool fast_ok = fast.configure(bytes);
+    const bool slow_ok = slow.configure(bytes);
+    ASSERT_EQ(fast_ok, slow_ok);
+    if (fast_ok) {
+      EXPECT_EQ(fast.loaded_key(), slow.loaded_key());
+      EXPECT_EQ(fast.keystream(kIv, 4), slow.keystream(kIv, 4));
+    } else {
+      // Rejections must be indistinguishable, error string included.
+      EXPECT_EQ(fast.error(), slow.error());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbm
