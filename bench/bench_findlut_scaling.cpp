@@ -1,16 +1,30 @@
 // Section VI-B performance claim: "For bitstreams of size less than 10 MB
 // and k = 6, our tool takes less than 4 sec to execute for a given f."
 //
-// Benchmarks the optimized FINDLUT on synthetic bitstreams up to 10 MB, and
-// the literal Algorithm 1 transcription on smaller inputs (it is the
-// exponential-constant version the optimized scan replaces).
+// Benchmarks three scan implementations:
+//   * the literal Algorithm 1 transcription (find_lut_naive) on small
+//     inputs — the exponential-constant version everything else replaces;
+//   * the per-candidate hash scan (scan_family_legacy): one bitstream pass
+//     per candidate function;
+//   * the one-pass multi-pattern engine (scan_family over a shared
+//     PatternIndex): one bitstream pass for the whole family.
+//
+// The family sweep crosses candidate count (1/4/16/64 — padding the real
+// attack family with deterministic decoy functions, the countermeasure's
+// at-scale workload) with synthetic bitstream size (64 KiB – 4 MiB) and
+// writes per-config rows to BENCH_findlut_scaling.json;
+// scripts/check_bench_regression.py compares them against the committed
+// baseline.  `--smoke` runs a tiny config and exits nonzero if engine and
+// legacy match lists diverge (wired into ctest under the `bench` label).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "attack/findlut.h"
 #include "attack/scan.h"
+#include "attack/scan_engine.h"
 #include "bitstream/patcher.h"
 #include "common/json.h"
 #include "common/rng.h"
@@ -20,6 +34,8 @@ namespace {
 using namespace sbm;
 using namespace sbm::attack;
 
+constexpr size_t kOffsetD = 404;
+
 std::vector<u8> synthetic_bitstream(size_t size, unsigned planted) {
   Rng rng(42);
   std::vector<u8> bytes(size);
@@ -27,10 +43,168 @@ std::vector<u8> synthetic_bitstream(size_t size, unsigned planted) {
   const logic::TruthTable6 f = logic::table2_candidate("f2").function;
   for (unsigned i = 0; i < planted; ++i) {
     const size_t l = (i + 1) * (size / (planted + 2));
-    bitstream::write_lut_init(bytes, l, 404, bitstream::device_chunk_orders()[i % 2],
+    bitstream::write_lut_init(bytes, l, kOffsetD, bitstream::device_chunk_orders()[i % 2],
                               f.permuted(logic::all_permutations6()[i * 31 % 720]).bits());
   }
   return bytes;
+}
+
+/// The real attack family padded with deterministic random decoy functions
+/// up to `count` candidates — the shape of a countermeasure decoy audit.
+std::vector<logic::Candidate> candidate_family(size_t count) {
+  std::vector<logic::Candidate> family;
+  for (const auto& c : attack_family()) {
+    if (family.size() == count) return family;
+    family.push_back(c);
+  }
+  Rng rng(7);
+  while (family.size() < count) {
+    logic::Candidate decoy;
+    decoy.name = "decoy" + std::to_string(family.size());
+    decoy.function = logic::TruthTable6(rng.next_u64());
+    family.push_back(std::move(decoy));
+  }
+  return family;
+}
+
+/// Plants one instance of every family member so the scans have real work.
+std::vector<u8> family_bitstream(size_t size, const std::vector<logic::Candidate>& family) {
+  std::vector<u8> bytes = synthetic_bitstream(size, 0);
+  for (size_t i = 0; i < family.size(); ++i) {
+    const size_t l = (i + 1) * (size / (family.size() + 2));
+    bitstream::write_lut_init(
+        bytes, l, kOffsetD, bitstream::device_chunk_orders()[i % 2],
+        family[i].function.permuted(logic::all_permutations6()[i * 131 % 720]).bits());
+  }
+  return bytes;
+}
+
+bool same_matches(const std::vector<FamilyCount>& a, const std::vector<FamilyCount>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c].matches != b[c].matches) return false;
+  }
+  return true;
+}
+
+struct SweepRow {
+  size_t candidates = 0;
+  size_t kib = 0;
+  double engine_seconds = 0;       // warm: shared index already compiled
+  double engine_cold_seconds = 0;  // first scan, index compile included
+  double legacy_seconds = 0;       // per-candidate hash scan
+  size_t matches = 0;
+  bool identical = false;
+  double speedup() const {
+    return engine_seconds > 0 ? legacy_seconds / engine_seconds : 0;
+  }
+};
+
+SweepRow run_config(size_t candidates, size_t kib) {
+  const auto family = candidate_family(candidates);
+  const auto bytes = family_bitstream(kib * 1024, family);
+  FindLutOptions opt;
+  opt.offset_d = kOffsetD;
+
+  SweepRow row;
+  row.candidates = candidates;
+  row.kib = kib;
+
+  pattern_index_cache_clear();
+  auto timed = [](auto&& fn, double& seconds) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = fn();
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+  };
+  const auto cold = timed([&] { return scan_family(bytes, family, opt); },
+                          row.engine_cold_seconds);
+  const auto warm = timed([&] { return scan_family(bytes, family, opt); },
+                          row.engine_seconds);
+  const auto legacy = timed([&] { return scan_family_legacy(bytes, family, opt); },
+                            row.legacy_seconds);
+  row.identical = same_matches(cold, legacy) && same_matches(warm, legacy);
+  for (const auto& fc : legacy) row.matches += fc.count();
+  return row;
+}
+
+void print_row(const SweepRow& r) {
+  std::printf("  %3zu candidates x %4zu KiB: engine %8.4fs (cold %8.4fs)  legacy %8.4fs  "
+              "%5.1fx  %3zu matches  %s\n",
+              r.candidates, r.kib, r.engine_seconds, r.engine_cold_seconds, r.legacy_seconds,
+              r.speedup(), r.matches, r.identical ? "identical" : "DIVERGED");
+}
+
+/// One timed measurement per configuration, written to
+/// BENCH_findlut_scaling.json so the scan's performance trajectory is
+/// tracked across PRs alongside the google-benchmark numbers.
+bool write_bench_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "findlut_scaling");
+
+  // Single-function rows: the paper's own < 4 s at 10 MB claim.
+  const logic::TruthTable6 f = logic::table2_candidate("f2").function;
+  FindLutOptions opt;
+  opt.offset_d = kOffsetD;
+  w.key("single_function").begin_array();
+  for (const size_t mb : {1, 5, 10}) {
+    const auto bytes = synthetic_bitstream(mb * 1000 * 1000, 32);
+    const auto start = std::chrono::steady_clock::now();
+    const auto matches = find_lut(bytes, f, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    w.begin_object();
+    w.field("megabytes", mb).field("wall_seconds", wall).field("matches", matches.size());
+    w.end_object();
+    std::printf("FINDLUT %2zu MB: %.3fs, %zu matches (paper claim: < 4 s at 10 MB)\n", mb, wall,
+                matches.size());
+  }
+  w.end_array();
+
+  // Family sweep: candidate count x bitstream size, engine vs legacy.
+  std::printf("\nfamily sweep (one-pass engine vs per-candidate scan):\n");
+  bool all_identical = true;
+  w.key("family_sweep").begin_array();
+  for (const size_t candidates : {1, 4, 16, 64}) {
+    for (const size_t kib : {64, 512, 4096}) {
+      const SweepRow r = run_config(candidates, kib);
+      print_row(r);
+      all_identical = all_identical && r.identical;
+      w.begin_object();
+      w.field("candidates", r.candidates)
+          .field("kib", r.kib)
+          .field("engine_seconds", r.engine_seconds)
+          .field("engine_cold_seconds", r.engine_cold_seconds)
+          .field("legacy_seconds", r.legacy_seconds)
+          .field("speedup", r.speedup())
+          .field("matches", r.matches)
+          .field("identical", r.identical);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  if (std::FILE* file = std::fopen("BENCH_findlut_scaling.json", "w")) {
+    std::fwrite(w.str().data(), 1, w.str().size(), file);
+    std::fclose(file);
+    std::printf("wrote BENCH_findlut_scaling.json\n\n");
+  }
+  return all_identical;
+}
+
+/// Tiny configs only — the ctest smoke entry (label: bench).  Exit status
+/// reflects engine/legacy match-list identity.
+bool run_smoke() {
+  std::printf("=== findlut scan-engine smoke (tiny configs) ===\n");
+  bool ok = true;
+  for (const size_t candidates : {1, 4}) {
+    const SweepRow r = run_config(candidates, 64);
+    print_row(r);
+    ok = ok && r.identical && r.matches >= candidates;
+  }
+  std::printf(ok ? "smoke ok\n" : "smoke FAILED\n");
+  return ok;
 }
 
 void BM_FindLutOptimized(benchmark::State& state) {
@@ -38,7 +212,7 @@ void BM_FindLutOptimized(benchmark::State& state) {
   const auto bytes = synthetic_bitstream(mb * 1000 * 1000, 32);
   const logic::TruthTable6 f = logic::table2_candidate("f2").function;
   FindLutOptions opt;
-  opt.offset_d = 404;
+  opt.offset_d = kOffsetD;
   size_t found = 0;
   for (auto _ : state) {
     const auto matches = find_lut(bytes, f, opt);
@@ -56,7 +230,7 @@ void BM_FindLutNaiveAlgorithm1(benchmark::State& state) {
   const auto bytes = synthetic_bitstream(kb * 1000, 4);
   const logic::TruthTable6 f = logic::table2_candidate("f2").function;
   FindLutOptions opt;
-  opt.offset_d = 404;
+  opt.offset_d = kOffsetD;
   for (auto _ : state) {
     const auto matches = find_lut_naive(bytes, f, opt);
     benchmark::DoNotOptimize(matches);
@@ -66,45 +240,16 @@ void BM_FindLutNaiveAlgorithm1(benchmark::State& state) {
 }
 BENCHMARK(BM_FindLutNaiveAlgorithm1)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 
-/// One timed measurement per bitstream size, written to
-/// BENCH_findlut_scaling.json so the scan's performance trajectory is
-/// tracked across PRs alongside the google-benchmark numbers.
-void write_bench_json() {
-  const logic::TruthTable6 f = logic::table2_candidate("f2").function;
-  FindLutOptions opt;
-  opt.offset_d = 404;
-  JsonWriter w;
-  w.begin_object();
-  w.field("bench", "findlut_scaling");
-  w.key("optimized").begin_array();
-  for (const size_t mb : {1, 5, 10}) {
-    const auto bytes = synthetic_bitstream(mb * 1000 * 1000, 32);
-    const auto start = std::chrono::steady_clock::now();
-    const auto matches = find_lut(bytes, f, opt);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    w.begin_object();
-    w.field("megabytes", mb).field("wall_seconds", wall).field("matches", matches.size());
-    w.end_object();
-    std::printf("FINDLUT %2zu MB: %.3fs, %zu matches (paper claim: < 4 s at 10 MB)\n", mb, wall,
-                matches.size());
-  }
-  w.end_array();
-  w.end_object();
-  if (std::FILE* file = std::fopen("BENCH_findlut_scaling.json", "w")) {
-    std::fwrite(w.str().data(), 1, w.str().size(), file);
-    std::fclose(file);
-    std::printf("wrote BENCH_findlut_scaling.json\n\n");
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke() ? 0 : 1;
+  }
   std::printf("=== Section VI-B claim: FINDLUT < 4 s on a < 10 MB bitstream (k = 6) ===\n");
   std::printf("BM_FindLutOptimized/10 below is the 10 MB measurement to compare.\n\n");
-  write_bench_json();
+  const bool identical = write_bench_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return identical ? 0 : 1;
 }

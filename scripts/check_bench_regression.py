@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Guard against attack-pipeline wall-clock regressions.
+"""Guard against attack-pipeline and scan-engine wall-clock regressions.
 
-Compares a freshly generated BENCH_attack_e2e.json (written by
-build/bench/bench_attack_e2e into its working directory) against the
-baseline committed at the repository root.  Fails when the runtime
-configuration's wall_seconds regressed by more than the threshold, or when
-the scalar/batched bit-identity flag went false.
+Compares a freshly generated bench JSON against the baseline committed at
+the repository root.  Two schemas are understood, keyed on the file's
+contents:
+
+* BENCH_attack_e2e.json (written by build/bench/bench_attack_e2e): fails
+  when the runtime configuration's wall_seconds regressed by more than the
+  threshold, or when the scalar/batched bit-identity flag went false.
+* BENCH_findlut_scaling.json ("bench": "findlut_scaling", written by
+  build/bench/bench_findlut_scaling): fails when any family-sweep row's
+  engine/legacy match lists diverged (identical=false), or when a row's
+  one-pass engine wall-clock regressed by more than the threshold against
+  the baseline row with the same (candidates, kib).
 
 Usage:
     scripts/check_bench_regression.py FRESH_JSON [BASELINE_JSON]
 
-BASELINE_JSON defaults to BENCH_attack_e2e.json next to this repository's
+BASELINE_JSON defaults to the matching baseline next to this repository's
 root.  Exit code 0 = within budget, 1 = regression or malformed input.
 """
 
@@ -19,6 +26,11 @@ import pathlib
 import sys
 
 THRESHOLD = 1.25  # fail when fresh wall-clock > 125% of the baseline
+# Sub-millisecond scan rows need absolute slack on top of the ratio, or
+# scheduler noise on a loaded CI box fails a 100 microsecond measurement.
+ABS_SLACK_SECONDS = 0.005
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def load(path):
@@ -30,19 +42,7 @@ def load(path):
         sys.exit(1)
 
 
-def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
-        print(__doc__, file=sys.stderr)
-        return 1
-    fresh_path = argv[1]
-    baseline_path = (
-        argv[2]
-        if len(argv) == 3
-        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_attack_e2e.json"
-    )
-    fresh = load(fresh_path)
-    baseline = load(baseline_path)
-
+def check_attack_e2e(fresh, baseline):
     ok = True
     if fresh.get("results_identical") is False:
         print("FAIL: scalar and batched attack results diverged (results_identical=false)")
@@ -60,7 +60,54 @@ def main(argv):
         print(f"{entry}: {new:.3f}s vs baseline {base:.3f}s (budget {budget:.3f}s) {status}")
         if new > budget:
             ok = False
+    return ok
 
+
+def check_findlut_scaling(fresh, baseline):
+    ok = True
+    base_rows = {
+        (row.get("candidates"), row.get("kib")): row
+        for row in baseline.get("family_sweep", [])
+    }
+    for row in fresh.get("family_sweep", []):
+        key = (row.get("candidates"), row.get("kib"))
+        label = f"{key[0]} candidates x {key[1]} KiB"
+        if row.get("identical") is not True:
+            print(f"FAIL: {label}: engine and legacy match lists diverged")
+            ok = False
+        base = base_rows.get(key)
+        new = row.get("engine_seconds")
+        if base is None or new is None:
+            # Rows only present on one side are informational, not comparable.
+            continue
+        base_wall = base.get("engine_seconds")
+        if base_wall is None:
+            continue
+        budget = base_wall * THRESHOLD + ABS_SLACK_SECONDS
+        status = "ok" if new <= budget else "REGRESSED"
+        speedup = row.get("speedup")
+        extra = f", {speedup:.1f}x over legacy" if isinstance(speedup, (int, float)) else ""
+        print(f"{label}: engine {new:.4f}s vs baseline {base_wall:.4f}s "
+              f"(budget {budget:.4f}s){extra} {status}")
+        if new > budget:
+            ok = False
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    fresh = load(argv[1])
+    is_findlut = fresh.get("bench") == "findlut_scaling"
+    default_baseline = REPO_ROOT / (
+        "BENCH_findlut_scaling.json" if is_findlut else "BENCH_attack_e2e.json"
+    )
+    baseline = load(argv[2] if len(argv) == 3 else default_baseline)
+
+    ok = check_findlut_scaling(fresh, baseline) if is_findlut else check_attack_e2e(
+        fresh, baseline
+    )
     if not ok:
         return 1
     print("bench within budget")

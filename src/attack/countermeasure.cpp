@@ -59,12 +59,7 @@ std::vector<HalfMatch> scan_halves(std::span<const u8> bitstream,
   const auto& orders = bitstream::device_chunk_orders();
   for (size_t l = begin; l < last; ++l) {
     for (const auto& order : orders) {
-      u64 b = 0;
-      for (unsigned c = 0; c < kSubVectors; ++c) {
-        const u16 sub =
-            static_cast<u16>(bitstream[l + c * d] | (u16{bitstream[l + c * d + 1]} << 8));
-        b |= u64{sub} << (16 * order[c]);
-      }
+      const u64 b = bitstream::assemble_b(bitstream, l, d, order);
       bool hit = false;
       if (const auto it = lo_keys.find(b & lo_mask); it != lo_keys.end()) {
         out.push_back({l, true, order, it->second->perm, it->second->half});

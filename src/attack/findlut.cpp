@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "attack/scan_engine.h"
 #include "runtime/parallel.h"
 
 namespace sbm::attack {
@@ -31,17 +32,6 @@ std::span<const std::array<u8, 4>> orders_for(const FindLutOptions& options) {
   return bitstream::device_chunk_orders();
 }
 
-/// Reads the 4 chunks at position l (stride d) and reassembles the stored
-/// 64-bit B vector assuming chunk c holds sub-vector order[c].
-u64 assemble_b(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order) {
-  u64 b = 0;
-  for (unsigned c = 0; c < kSubVectors; ++c) {
-    const u16 sub = static_cast<u16>(bytes[l + c * d] | (u16{bytes[l + c * d + 1]} << 8));
-    b |= u64{sub} << (16 * order[c]);
-  }
-  return b;
-}
-
 }  // namespace
 
 LutPatterns precompute_patterns(TruthTable6 f) {
@@ -66,7 +56,7 @@ std::vector<LutMatch> find_lut_range(std::span<const u8> bitstream, const LutPat
   l_end = std::min(l_end, last + 1);
   for (size_t l = l_begin; l < l_end; ++l) {
     for (const auto& order : orders) {
-      const u64 b = assemble_b(bitstream, l, d, order);
+      const u64 b = bitstream::assemble_b(bitstream, l, d, order);
       const auto it = patterns.by_stored_bits.find(b);
       if (it == patterns.by_stored_bits.end()) continue;
       matches.push_back({l, it->second.table, it->second.perm, order});
@@ -78,28 +68,9 @@ std::vector<LutMatch> find_lut_range(std::span<const u8> bitstream, const LutPat
 
 std::vector<LutMatch> find_lut(std::span<const u8> bitstream, TruthTable6 f,
                                const FindLutOptions& options) {
-  const size_t d = options.offset_d;
-  if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return {};
-  const LutPatterns patterns = precompute_patterns(f);
-  const size_t positions = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes + 1;
-
-  const size_t shards = runtime::shard_count(options.pool, positions, options.shard_grain);
-  if (shards <= 1) return find_lut_range(bitstream, patterns, 0, positions, options);
-
-  // Shard the byte-position scan; concatenating shard outputs in range
-  // order reproduces the serial ascending-l order exactly.
-  auto per_shard = runtime::parallel_map(
-      options.pool, shards,
-      [&](size_t s) {
-        return find_lut_range(bitstream, patterns, positions * s / shards,
-                              positions * (s + 1) / shards, options);
-      },
-      /*min_grain=*/1);
-  std::vector<LutMatch> matches;
-  for (auto& part : per_shard) {
-    matches.insert(matches.end(), part.begin(), part.end());
-  }
-  return matches;
+  const auto index = shared_pattern_index({&f, 1}, options);
+  auto per_candidate = scan_all(bitstream, *index, options);
+  return std::move(per_candidate[0]);
 }
 
 std::vector<LutMatch> find_lut_naive(std::span<const u8> bitstream, TruthTable6 f,
@@ -115,23 +86,14 @@ std::vector<LutMatch> find_lut_naive(std::span<const u8> bitstream, TruthTable6 
   for (const auto& perm : logic::all_permutations6()) {
     const TruthTable6 table = f.permuted(perm);           // GETTRUTHTABLE
     const u64 b = bitstream::xi_permute(table.bits());    // B = xi(F)
-    std::array<u16, kSubVectors> sub{};                   // B = (B1,...,Br)
-    for (unsigned j = 0; j < kSubVectors; ++j) sub[j] = static_cast<u16>(b >> (16 * j));
 
     for (size_t l = 0; l <= last; ++l) {
       if (marked[l]) continue;
       for (const auto& order : orders) {
-        bool match = true;
-        for (unsigned c = 0; c < kSubVectors && match; ++c) {
-          const u16 stored =
-              static_cast<u16>(bitstream[l + c * d] | (u16{bitstream[l + c * d + 1]} << 8));
-          match = stored == sub[order[c]];
-        }
-        if (match) {
-          matches.push_back({l, table, perm, order});
-          marked[l] = true;  // Mark(l)
-          break;
-        }
+        if (bitstream::assemble_b(bitstream, l, d, order) != b) continue;
+        matches.push_back({l, table, perm, order});
+        marked[l] = true;  // Mark(l)
+        break;
       }
     }
   }

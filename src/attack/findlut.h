@@ -7,10 +7,15 @@
 //     (outer loop over input permutations, inner scan over byte positions
 //     and sub-vector orders).  Used for small inputs and as the reference
 //     in differential tests.
-//   * find_lut: the production version.  It precomputes the set of distinct
-//     permuted-and-xi-mapped 64-bit patterns once, then scans the bitstream
-//     a single time, reassembling the four chunks at each byte position and
-//     hash-probing per sub-vector order.  Same results, linear in |B|.
+//   * find_lut: the production version, a single-candidate view of the
+//     one-pass multi-pattern engine (attack/scan_engine.h): patterns are
+//     compiled once into a 16-bit first-chunk bucket index (cached across
+//     calls) and each byte position does one bucket probe.  Same results,
+//     linear in |B|.
+//
+// precompute_patterns / find_lut_range are the pre-engine hash-probing scan,
+// kept as the legacy reference the engine is differentially tested and
+// benchmarked against (scan_family_legacy in attack/scan.h builds on them).
 #pragma once
 
 #include <memory>

@@ -168,15 +168,11 @@ AttackResult Attack::execute() {
 }
 
 bool Attack::phase_zpath(AttackResult& result) {
-  // Scan the keystream-path family (sharded by candidate and byte range
-  // when a pool is configured) and sort candidates by match count, largest
-  // first (Section VI-C: "starting from the ones with the largest number of
-  // matches n").
-  std::vector<Candidate> z_family;
-  for (const Candidate& c : attack_family()) {
-    if (c.path == logic::TargetPath::kKeystream) z_family.push_back(c);
-  }
-  std::vector<FamilyCount> counts = scan_family(base_, z_family, config_.find);
+  // Scan the keystream-path family (one compiled pattern index, byte ranges
+  // sharded across the pool when one is configured) and sort candidates by
+  // match count, largest first (Section VI-C: "starting from the ones with
+  // the largest number of matches n").
+  std::vector<FamilyCount> counts = scan_family(base_, keystream_family(), config_.find);
   std::sort(counts.begin(), counts.end(),
             [](const FamilyCount& a, const FamilyCount& b) { return a.count() > b.count(); });
 
@@ -414,10 +410,7 @@ bool Attack::phase_feedback(AttackResult& result) {
   // fans out across the pool; the probes batch per candidate — each match
   // list is planned up front, probed in 64-lane batches, and classified in
   // match order, so the outcome is independent of batch width and threads.
-  std::vector<Candidate> fb_family;
-  for (const Candidate& c : attack_family()) {
-    if (c.path == logic::TargetPath::kFeedback) fb_family.push_back(c);
-  }
+  const std::vector<Candidate>& fb_family = feedback_family();
   const std::vector<FamilyCount> fb_counts = scan_family(base_beta, fb_family, config_.find);
   for (size_t ci = 0; ci < fb_counts.size(); ++ci) {
     const Candidate& c = fb_family[ci];

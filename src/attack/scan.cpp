@@ -1,5 +1,6 @@
 #include "attack/scan.h"
 
+#include "attack/scan_engine.h"
 #include "bitstream/lut_coding.h"
 #include "runtime/parallel.h"
 
@@ -11,6 +12,23 @@ using logic::TargetPath;
 std::vector<FamilyCount> scan_family(std::span<const u8> bitstream,
                                      const std::vector<Candidate>& family,
                                      const FindLutOptions& options) {
+  std::vector<logic::TruthTable6> functions;
+  functions.reserve(family.size());
+  for (const Candidate& c : family) functions.push_back(c.function);
+  const auto index = shared_pattern_index(functions, options);
+  auto per_candidate = scan_all(bitstream, *index, options);
+
+  std::vector<FamilyCount> out;
+  out.reserve(family.size());
+  for (size_t c = 0; c < family.size(); ++c) {
+    out.push_back({family[c], std::move(per_candidate[c])});
+  }
+  return out;
+}
+
+std::vector<FamilyCount> scan_family_legacy(std::span<const u8> bitstream,
+                                            const std::vector<Candidate>& family,
+                                            const FindLutOptions& options) {
   std::vector<FamilyCount> out;
   out.reserve(family.size());
   const size_t min_size =
@@ -18,23 +36,25 @@ std::vector<FamilyCount> scan_family(std::span<const u8> bitstream,
   const size_t positions = bitstream.size() < min_size ? 0 : bitstream.size() - min_size + 1;
   const size_t shards = runtime::shard_count(options.pool, positions, options.shard_grain);
 
+  // The pattern precompute is hoisted out of the scan loops on both paths:
+  // one build per candidate, shared read-only by every range shard.
+  auto patterns = runtime::parallel_map(options.pool, family.size(), [&](size_t c) {
+    return precompute_patterns(family[c].function);
+  });
+
   if (shards <= 1) {
     // Serial reference path (also taken for tiny bitstreams).
     FindLutOptions serial = options;
     serial.pool = nullptr;
-    for (const Candidate& c : family) {
-      out.push_back({c, find_lut(bitstream, c.function, serial)});
+    for (size_t c = 0; c < family.size(); ++c) {
+      out.push_back({family[c], find_lut_range(bitstream, patterns[c], 0, positions, serial)});
     }
     return out;
   }
 
-  // Two-level sharding: the unit of work is (candidate, byte-range).  The
-  // pattern precompute is done once per candidate and shared read-only by
-  // that candidate's range shards; shard outputs concatenate in range order,
-  // so the result is byte-identical to the serial scan for any thread count.
-  auto patterns = runtime::parallel_map(options.pool, family.size(), [&](size_t c) {
-    return precompute_patterns(family[c].function);
-  });
+  // Two-level sharding: the unit of work is (candidate, byte-range); shard
+  // outputs concatenate in range order, so the result is byte-identical to
+  // the serial scan for any thread count.
   const size_t tasks = family.size() * shards;
   auto pieces = runtime::parallel_map(
       options.pool, tasks,
@@ -93,6 +113,38 @@ const std::vector<Candidate>& mux_scan_family() {
     return f;
   }();
   return family;
+}
+
+namespace {
+
+std::vector<Candidate> filter_path(TargetPath path) {
+  std::vector<Candidate> out;
+  for (const Candidate& c : attack_family()) {
+    if (c.path == path) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Candidate>& keystream_family() {
+  static const std::vector<Candidate> family = filter_path(TargetPath::kKeystream);
+  return family;
+}
+
+const std::vector<Candidate>& feedback_family() {
+  static const std::vector<Candidate> family = filter_path(TargetPath::kFeedback);
+  return family;
+}
+
+void warm_scan_indexes(const FindLutOptions& options) {
+  for (const std::vector<Candidate>* family :
+       {&keystream_family(), &mux_scan_family(), &feedback_family()}) {
+    std::vector<logic::TruthTable6> functions;
+    functions.reserve(family->size());
+    for (const Candidate& c : *family) functions.push_back(c.function);
+    shared_pattern_index(functions, options);
+  }
 }
 
 }  // namespace sbm::attack

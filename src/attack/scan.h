@@ -17,10 +17,23 @@ struct FamilyCount {
   size_t count() const { return matches.size(); }
 };
 
-/// Runs FINDLUT for every candidate in the family.
+/// Runs FINDLUT for every candidate in the family in a single bitstream
+/// pass: the whole family's pattern sets are compiled into one shared
+/// first-chunk PatternIndex (attack/scan_engine.h, cached across calls and
+/// campaign trials), so the cost is O(positions + bucket hits) instead of
+/// O(candidates x positions x orders).  Results are bit-identical to
+/// scan_family_legacy for any thread count.
 std::vector<FamilyCount> scan_family(std::span<const u8> bitstream,
                                      const std::vector<logic::Candidate>& family,
                                      const FindLutOptions& options = {});
+
+/// The pre-engine reference: one hash-probing pass per candidate
+/// (find_lut_range), with the per-candidate pattern precompute hoisted out
+/// of the scan loops and shared by all of that candidate's range shards.
+/// Kept for differential tests and the engine-vs-legacy benchmark.
+std::vector<FamilyCount> scan_family_legacy(std::span<const u8> bitstream,
+                                            const std::vector<logic::Candidate>& family,
+                                            const FindLutOptions& options = {});
 
 /// The attack's working family: the paper's Table II candidates plus the
 /// generalized gated-XOR shapes (every control polarity count for 2- and
@@ -31,5 +44,17 @@ const std::vector<logic::Candidate>& attack_family();
 /// Candidates for the LFSR-load MUX LUTs (Section VI-D.2): f_MUX2, the
 /// single 3-variable MUX and the MUX-with-feedback-fold shapes.
 const std::vector<logic::Candidate>& mux_scan_family();
+
+/// attack_family() filtered to one target path, in family order.  The
+/// pipeline phases scan these subsets; exposing them as stable statics keeps
+/// the compiled-index cache keyed on one canonical function list per phase.
+const std::vector<logic::Candidate>& keystream_family();
+const std::vector<logic::Candidate>& feedback_family();
+
+/// Pre-compiles the shared pattern indexes of the three families every
+/// pipeline phase scans (keystream, load-MUX, feedback), so campaign trials
+/// fanning out across a pool find them cached instead of racing to compile
+/// the same indexes.
+void warm_scan_indexes(const FindLutOptions& options = {});
 
 }  // namespace sbm::attack

@@ -37,12 +37,34 @@ const std::array<std::array<u8, 4>, 2>& device_chunk_orders() {
   return kOrders;
 }
 
+std::array<u16, kSubVectors> read_chunks(std::span<const u8> bytes, size_t l, size_t d) {
+  std::array<u16, kSubVectors> chunks{};
+  for (unsigned c = 0; c < kSubVectors; ++c) chunks[c] = read_chunk16(bytes, l + c * d);
+  return chunks;
+}
+
+u64 assemble_b(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order) {
+  u64 b = 0;
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    b |= u64{read_chunk16(bytes, l + c * d)} << (16 * order[c]);
+  }
+  return b;
+}
+
+u64 storage_image(u64 b, const std::array<u8, 4>& order) {
+  u64 image = 0;
+  for (unsigned c = 0; c < kSubVectors; ++c) {
+    image |= u64{static_cast<u16>(b >> (16 * order[c]))} << (16 * c);
+  }
+  return image;
+}
+
 std::array<std::array<u8, kChunkBytes>, kSubVectors> encode_lut(u64 init,
                                                                 const std::array<u8, 4>& order) {
-  const u64 b = xi_permute(init);
+  const u64 image = storage_image(xi_permute(init), order);
   std::array<std::array<u8, kChunkBytes>, kSubVectors> chunks{};
   for (unsigned c = 0; c < kSubVectors; ++c) {
-    const u16 sub = static_cast<u16>(b >> (16 * order[c]));
+    const u16 sub = static_cast<u16>(image >> (16 * c));
     chunks[c][0] = static_cast<u8>(sub);
     chunks[c][1] = static_cast<u8>(sub >> 8);
   }

@@ -36,6 +36,25 @@ std::array<u8, 4> chunk_order(mapper::SliceType type);
 /// The two orders used by the device family, in a form FINDLUT can iterate.
 const std::array<std::array<u8, 4>, 2>& device_chunk_orders();
 
+/// Little-endian 16-bit chunk stored at byte position `pos`.
+inline u16 read_chunk16(std::span<const u8> bytes, size_t pos) {
+  return static_cast<u16>(bytes[pos] | (u16{bytes[pos + 1]} << 8));
+}
+
+/// The r stored chunks at byte position l (stride d), in memory order.
+std::array<u16, kSubVectors> read_chunks(std::span<const u8> bytes, size_t l, size_t d);
+
+/// Reassembles the stored 64-bit B vector from the chunks at (l, d),
+/// assuming chunk c holds sub-vector order[c].
+u64 assemble_b(std::span<const u8> bytes, size_t l, size_t d, const std::array<u8, 4>& order);
+
+/// The memory image of B under `order`: bits [16c, 16c+16) of the result are
+/// the chunk stored c-th in memory.  assemble_b(bytes, l, d, order) == b
+/// exactly when storage_image(b, order) equals the four chunks at (l, d)
+/// read in memory order — the comparison the scan engine's first-chunk
+/// index is keyed on.
+u64 storage_image(u64 b, const std::array<u8, 4>& order);
+
 /// Serializes INIT into 4 chunks of 2 bytes (LSB-first bit packing within a
 /// chunk), in the order of `order`.
 std::array<std::array<u8, kChunkBytes>, kSubVectors> encode_lut(u64 init,

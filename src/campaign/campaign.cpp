@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "attack/pipeline.h"
+#include "attack/scan.h"
+#include "attack/scan_engine.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "fpga/system.h"
@@ -81,6 +83,11 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   report.threads_used = pool.concurrency();
   runtime::ThreadPool* scan_pool = pool.concurrency() > 1 ? &pool : nullptr;
 
+  // Compile the shared pattern indexes of the standard scan families once,
+  // up front: trials fanning out below hit the cache instead of racing to
+  // build identical indexes on first use.
+  attack::warm_scan_indexes();
+
   // Trial-level fan-out; parallel_map keeps the outcomes in trial order.
   report.trials = runtime::parallel_map(
       pool.concurrency() > 1 ? &pool : nullptr, options.trials,
@@ -118,6 +125,7 @@ CampaignReport run_campaign(const CampaignOptions& options) {
       if (!found) report.phase_run_totals.emplace_back(phase, runs);
     }
   }
+  report.scan_index_cache_entries = attack::pattern_index_cache_size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return report;
@@ -178,6 +186,7 @@ std::string CampaignReport::to_json() const {
       .field("total_oracle_runs", total_oracle_runs)
       .field("total_cache_hits", total_cache_hits)
       .field("total_probe_calls", total_probe_calls)
+      .field("scan_index_cache_entries", scan_index_cache_entries)
       .field("wall_seconds", wall_seconds)
       .field("fingerprint", fingerprint());
   w.key("phase_oracle_runs").begin_object();

@@ -87,6 +87,11 @@ struct CampaignReport {
   std::vector<std::pair<std::string, size_t>> phase_run_totals;
   double wall_seconds = 0;
   unsigned threads_used = 0;
+  /// Compiled scan-engine pattern indexes alive after the campaign: the
+  /// standard families compile once (pre-warmed before the trial fan-out)
+  /// and every trial's FINDLUT phases reuse them.  Informational — excluded
+  /// from fingerprint().
+  size_t scan_index_cache_entries = 0;
 
   bool all_expected() const;
   /// Digest of every timing-independent field of every trial, in trial
