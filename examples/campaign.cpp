@@ -31,6 +31,11 @@ void usage(const char* argv0) {
       "  --batch-width W      oracle probes packed per bit-sliced batch, 1-64 (default 64)\n"
       "  --no-cache           disable the probe cache\n"
       "  --serial-scan        keep FINDLUT scans single-threaded inside trials\n"
+      "  --noise PROFILE      unreliable-hardware model: none|mild|harsh, optional @seed\n"
+      "                       suffix (e.g. mild@0x123); probes are then confirmed by\n"
+      "                       agreement voting, overhead reported per trial\n"
+      "  --checkpoint FILE    persist completed trials to FILE after each finish\n"
+      "  --resume             skip trials FILE already covers (same campaign only)\n"
       "  --json FILE          also write the JSON report to FILE\n"
       "  --quiet              suppress per-trial progress lines\n",
       argv0);
@@ -68,6 +73,19 @@ int main(int argc, char** argv) {
       opt.use_probe_cache = false;
     } else if (arg == "--serial-scan") {
       opt.scan_parallel = false;
+    } else if (arg == "--noise") {
+      const char* spec = next();
+      const auto profile = faultsim::NoiseProfile::named(spec);
+      if (!profile) {
+        std::fprintf(stderr, "unknown noise profile '%s' (want none|mild|harsh[@seed])\n",
+                     spec);
+        return 2;
+      }
+      opt.noise = *profile;
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = next();
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--quiet") {
@@ -94,8 +112,17 @@ int main(int argc, char** argv) {
     std::printf("protected (Sec. VII)  : %zu/%zu trials resisted the attack\n",
                 report.protected_resisted, report.protected_trials);
   }
+  if (report.resumed_trials != 0) {
+    std::printf("resumed from checkpoint: %zu trials\n", report.resumed_trials);
+  }
   std::printf("oracle reconfigurations: %zu true + %zu cache hits (%zu probes)\n",
               report.total_oracle_runs, report.total_cache_hits, report.total_probe_calls);
+  if (!opt.noise.quiet()) {
+    std::printf("physical runs          : %zu (= %zu logical + %zu retries + %zu votes), "
+                "%zu corrupt reads detected\n",
+                report.total_physical_runs, report.total_oracle_runs, report.total_retry_runs,
+                report.total_vote_runs, report.total_corruption_detections);
+  }
   for (const auto& [phase, runs] : report.phase_run_totals) {
     std::printf("  %-10s %7zu\n", phase.c_str(), runs);
   }

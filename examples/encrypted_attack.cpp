@@ -27,7 +27,7 @@ class EncryptedDeviceOracle : public attack::Oracle {
                         const bitstream::AuthKey& ka, const snow3g::Iv& iv)
       : sys_(sys), ke_(ke), ka_(ka), iv_(iv) {}
 
-  std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override {
+  runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override {
     ++runs_;
     const auto envelope = bitstream::protect_bitstream(bitstream, ke_, ka_, {});
     fpga::Device dev = sys_.make_device();

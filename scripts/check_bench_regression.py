@@ -42,23 +42,58 @@ def load(path):
         sys.exit(1)
 
 
+# Retry-overhead budget for the fault-tolerant configuration: the noisy
+# attack (mild noise + agreement voting) may spend at most this multiple of
+# the clean uncached run's oracle reconfigurations on physical probe work.
+NOISY_OVERHEAD_FACTOR = 3
+
+
 def check_attack_e2e(fresh, baseline):
     ok = True
     if fresh.get("results_identical") is False:
         print("FAIL: scalar and batched attack results diverged (results_identical=false)")
         ok = False
 
-    for entry in ("runtime", "runtime_1t"):
+    for entry in ("runtime", "runtime_1t", "noisy"):
         base = baseline.get(entry, {}).get("wall_seconds")
         new = fresh.get(entry, {}).get("wall_seconds")
         if base is None or new is None:
-            # Older baselines predate runtime_1t; only the entries both files
-            # carry are comparable.
+            # Older baselines predate runtime_1t/noisy; only the entries both
+            # files carry are comparable.
             continue
         budget = base * THRESHOLD
         status = "ok" if new <= budget else "REGRESSED"
         print(f"{entry}: {new:.3f}s vs baseline {base:.3f}s (budget {budget:.3f}s) {status}")
         if new > budget:
+            ok = False
+
+    noisy = fresh.get("noisy")
+    if noisy is not None:
+        if noisy.get("success") is not True:
+            print("FAIL: noisy attack did not recover the key (noisy.success=false)")
+            ok = False
+        # The paper metric must be noise-invariant: same logical run count as
+        # the clean cached configuration.
+        clean_runs = fresh.get("runtime_1t", {}).get("oracle_runs")
+        if clean_runs is not None and noisy.get("oracle_runs") != clean_runs:
+            print(f"FAIL: noisy oracle_runs {noisy.get('oracle_runs')} != clean "
+                  f"{clean_runs} (the paper metric moved under noise)")
+            ok = False
+        # Retry/vote overhead budget, measured against the clean run's total
+        # probe work (the plain configuration's reconfiguration count).
+        probe_work = fresh.get("plain", {}).get("oracle_runs")
+        physical = noisy.get("physical_runs")
+        if probe_work is not None and physical is not None:
+            budget = NOISY_OVERHEAD_FACTOR * probe_work
+            status = "ok" if physical <= budget else "OVER BUDGET"
+            print(f"noisy physical runs: {physical} vs budget {budget} "
+                  f"({NOISY_OVERHEAD_FACTOR}x clean {probe_work}) {status}")
+            if physical > budget:
+                ok = False
+        expected = (noisy.get("oracle_runs", 0) + noisy.get("retry_runs", 0)
+                    + noisy.get("vote_runs", 0))
+        if physical is not None and physical != expected:
+            print(f"FAIL: noisy physical_runs {physical} != oracle+retry+vote {expected}")
             ok = False
     return ok
 

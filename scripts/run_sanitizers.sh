@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under ThreadSanitizer and AddressSanitizer.
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/) configured
+# with the repo's SBM_SANITIZE cache option, so the instrumented builds never
+# pollute the regular build/ directory.  TSan is the one that matters for the
+# runtime/campaign fan-out layers; ASan covers the byte-twiddling bitstream
+# and attack code.
+#
+# Usage:
+#   scripts/run_sanitizers.sh                 # full tier-1 suite, both sanitizers
+#   scripts/run_sanitizers.sh thread          # one sanitizer only (thread|address)
+#   scripts/run_sanitizers.sh --smoke         # fast subset (runtime + faultsim unit
+#                                             # tests), both sanitizers — the ctest
+#                                             # `sanitize` target runs this
+#   scripts/run_sanitizers.sh --smoke address # fast subset, one sanitizer
+#
+# Exit code 0 = every selected run passed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+sanitizers=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    thread|address) sanitizers+=("$arg") ;;
+    *)
+      echo "usage: $0 [--smoke] [thread|address]..." >&2
+      exit 2
+      ;;
+  esac
+done
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(thread address)
+fi
+
+# The smoke subset: concurrency primitives, the fault model and the probe
+# layer — the code where a sanitizer finding is most likely and the runs are
+# cheap enough for CI.  The full run takes the whole tier-1 label.
+smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint)'
+
+status=0
+for san in "${sanitizers[@]}"; do
+  dir="build-${san:0:1}san"   # build-tsan / build-asan
+  echo "=== [$san sanitizer] configure + build ($dir) ==="
+  cmake -B "$dir" -S . -DSBM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  if [ "$smoke" -eq 1 ]; then
+    cmake --build "$dir" -j --target test_runtime test_faultsim
+  else
+    cmake --build "$dir" -j
+  fi
+
+  echo "=== [$san sanitizer] ctest ==="
+  if [ "$smoke" -eq 1 ]; then
+    (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -R "$smoke_filter") || status=1
+  else
+    (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -L tier1) || status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "sanitizer runs passed"
+else
+  echo "sanitizer runs FAILED" >&2
+fi
+exit "$status"

@@ -6,22 +6,24 @@
 
 namespace sbm::attack {
 
-std::optional<std::vector<u32>> DeviceOracle::run_one(std::span<const u8> bitstream,
-                                                      size_t words) const {
+using runtime::ProbeError;
+using runtime::ProbeOutcome;
+
+ProbeOutcome DeviceOracle::run_one(std::span<const u8> bitstream, size_t words) const {
   fpga::Device device = system_.make_device();
-  if (!device.configure(bitstream)) return std::nullopt;
+  if (!device.configure(bitstream)) return ProbeError::kRejected;
   return device.keystream(iv_, words);
 }
 
-std::optional<std::vector<u32>> DeviceOracle::run(std::span<const u8> bitstream, size_t words) {
+ProbeOutcome DeviceOracle::run(std::span<const u8> bitstream, size_t words) {
   ++runs_;
   return run_one(bitstream, words);
 }
 
-std::vector<std::optional<std::vector<u32>>> DeviceOracle::run_batch(
+std::vector<ProbeOutcome> DeviceOracle::run_batch(
     std::span<const std::vector<u8>> bitstreams, size_t words) {
   const size_t n = bitstreams.size();
-  std::vector<std::optional<std::vector<u32>>> out(n);
+  std::vector<ProbeOutcome> out(n);
   if (n == 0) return out;
 
   const unsigned width = std::clamp(batch_width_, 1u, fpga::BatchDevice::kLanes);
@@ -45,7 +47,9 @@ std::vector<std::optional<std::vector<u32>>> DeviceOracle::run_batch(
             dev.configure_lane(lane, bitstreams[begin + lane]);
           }
           auto ks = dev.keystream(iv_, words, lanes);
-          for (unsigned lane = 0; lane < lanes; ++lane) out[begin + lane] = std::move(ks[lane]);
+          for (unsigned lane = 0; lane < lanes; ++lane) {
+            out[begin + lane] = ProbeOutcome(std::move(ks[lane]));
+          }
         },
         /*min_grain=*/1);
   }

@@ -3,12 +3,12 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/bits.h"
 #include "fpga/system.h"
+#include "runtime/retry.h"
 #include "runtime/thread_pool.h"
 #include "snow3g/snow3g.h"
 
@@ -19,23 +19,29 @@ class Oracle {
   virtual ~Oracle() = default;
 
   /// Loads `bitstream` into the victim and generates `words` keystream
-  /// words.  Returns std::nullopt if the device rejects the bitstream.
-  virtual std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) = 0;
+  /// words.  The outcome is status-or-value (runtime::ProbeOutcome): the
+  /// keystream on success, otherwise a ProbeError — kRejected when the
+  /// device refuses the configuration, and on flaky hardware kCorrupt /
+  /// kTimeout / kDead (see runtime/retry.h; an ideal simulated device only
+  /// ever rejects).
+  virtual runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) = 0;
 
   /// Runs a batch of independent candidates; element i is run(bitstreams[i],
   /// words).  Each element still costs one reconfiguration in the paper's
   /// metric (runs() grows by bitstreams.size()) — batching only changes
   /// host-side wall clock, not attack cost.  The default loops over run().
-  virtual std::vector<std::optional<std::vector<u32>>> run_batch(
+  virtual std::vector<runtime::ProbeOutcome> run_batch(
       std::span<const std::vector<u8>> bitstreams, size_t words) {
-    std::vector<std::optional<std::vector<u32>>> out;
+    std::vector<runtime::ProbeOutcome> out;
     out.reserve(bitstreams.size());
     for (const auto& b : bitstreams) out.push_back(run(b, words));
     return out;
   }
 
-  /// Number of configuration+keystream runs performed so far (the paper's
-  /// cost metric: each run is a physical reconfiguration of the board).
+  /// Number of configuration+keystream runs performed so far: every
+  /// physical reconfiguration of the board, including the retries and
+  /// confirmation votes the attack layer accounts separately from the
+  /// paper's per-logical-probe cost metric.
   size_t runs() const { return runs_; }
 
  protected:
@@ -54,12 +60,12 @@ class DeviceOracle : public Oracle {
                runtime::ThreadPool* pool = nullptr, unsigned batch_width = 64)
       : system_(system), iv_(iv), pool_(pool), batch_width_(batch_width) {}
 
-  std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override;
-  std::vector<std::optional<std::vector<u32>>> run_batch(
+  runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override;
+  std::vector<runtime::ProbeOutcome> run_batch(
       std::span<const std::vector<u8>> bitstreams, size_t words) override;
 
  private:
-  std::optional<std::vector<u32>> run_one(std::span<const u8> bitstream, size_t words) const;
+  runtime::ProbeOutcome run_one(std::span<const u8> bitstream, size_t words) const;
 
   const fpga::System& system_;
   snow3g::Iv iv_;

@@ -18,6 +18,8 @@ namespace sbm::attack {
 
 using logic::Candidate;
 using logic::TruthTable6;
+using runtime::ProbeError;
+using runtime::ProbeOutcome;
 
 namespace {
 
@@ -27,6 +29,14 @@ namespace {
 std::vector<u32> reference(snow3g::FaultConfig faults, size_t words) {
   snow3g::Snow3g model({}, {}, faults);
   return model.keystream(words);
+}
+
+/// Only confirmed outcomes may enter the probe cache: an agreement-voted
+/// value, or a rejection that persisted through the whole retry budget
+/// (genuine, not a glitch).  Everything else — device death, unconfirmable
+/// reads — stays out, so a transient fault can never poison later lookups.
+bool cacheable(const ProbeOutcome& out) {
+  return out.ok() || out.error() == ProbeError::kRejected;
 }
 
 }  // namespace
@@ -41,23 +51,136 @@ void Attack::note(std::string message) {
   if (active_ != nullptr) active_->log.push_back(std::move(message));
 }
 
-std::optional<std::vector<u32>> Attack::probe(const std::vector<u8>& bytes) {
+std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>> batch) {
+  const runtime::RetryPolicy& policy = config_.retry;
+  auto raw = oracle_.run_batch(batch, config_.words);
+  if (policy.single_shot()) return raw;  // noise-free fast path, zero overhead
+
+  const size_t n = batch.size();
+  std::vector<ProbeOutcome> out(n);
+  struct Vote {
+    unsigned errors = 0;   // consecutive error attempts (reset on any value)
+    unsigned reads = 0;    // value reads spent so far
+    unsigned rejects = 0;  // rejected attempts seen so far
+    bool last_was_error = false;
+    bool settled = false;
+    std::vector<std::pair<std::vector<u32>, unsigned>> tally;  // value -> votes
+  };
+  std::vector<Vote> votes(n);
+
+  auto absorb = [&](size_t i, const ProbeOutcome& r) {
+    Vote& v = votes[i];
+    if (r.ok()) {
+      // A value read: the board is alive, so the consecutive-error count
+      // resets; confirmation requires `confirm` bit-identical reads (two
+      // independently corrupted captures essentially never coincide).
+      v.errors = 0;
+      v.last_was_error = false;
+      ++v.reads;
+      auto it = std::find_if(v.tally.begin(), v.tally.end(),
+                             [&](const auto& e) { return e.first == *r; });
+      if (it == v.tally.end()) {
+        if (!v.tally.empty()) ++stats_.corruptions;  // disagreeing read
+        v.tally.emplace_back(*r, 0u);
+        it = std::prev(v.tally.end());
+      }
+      if (++it->second >= policy.confirm) {
+        v.settled = true;
+        stats_.transient_rejections += v.rejects;
+        out[i] = ProbeOutcome(it->first);
+      } else if (v.reads >= policy.max_reads) {
+        // The board answers but never twice alike: unconfirmable.
+        v.settled = true;
+        out[i] = ProbeError::kCorrupt;
+      }
+      return;
+    }
+    v.last_was_error = true;
+    if (r.error() == ProbeError::kCorrupt) ++stats_.corruptions;
+    if (r.error() == ProbeError::kRejected) ++v.rejects;
+    if (r.error() == ProbeError::kDead || ++v.errors >= policy.max_attempts) {
+      v.settled = true;
+      // A rejection that persisted through every attempt with no value read
+      // in between is the genuine answer; anything else that exhausted the
+      // budget means the board is gone.
+      out[i] = (v.reads == 0 && v.rejects > 0 && r.error() == ProbeError::kRejected)
+                   ? ProbeError::kRejected
+                   : ProbeError::kDead;
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) absorb(i, raw[i]);
+  while (true) {
+    std::vector<size_t> live;
+    for (size_t i = 0; i < n; ++i) {
+      if (!votes[i].settled) live.push_back(i);
+    }
+    if (live.empty()) break;
+    std::vector<std::vector<u8>> round;
+    round.reserve(live.size());
+    for (const size_t i : live) {
+      round.push_back(batch[i]);
+      // Physical-overhead accounting at issue time: a re-issue after an
+      // error is a retry, a re-read of a value under confirmation is a vote.
+      if (votes[i].last_was_error) {
+        ++stats_.retry_runs;
+      } else {
+        ++stats_.vote_runs;
+      }
+    }
+    const auto answers = oracle_.run_batch(round, config_.words);
+    for (size_t k = 0; k < live.size(); ++k) absorb(live[k], answers[k]);
+  }
+  return out;
+}
+
+ProbeOutcome Attack::finalize(ProbeOutcome outcome) {
+  if (!outcome.ok() && outcome.error() != ProbeError::kRejected &&
+      fatal_ == ProbeError::kNone) {
+    fatal_ = outcome.error();
+  }
+  return outcome;
+}
+
+bool Attack::lost(AttackResult& result) {
+  if (fatal_ == ProbeError::kNone) return false;
+  if (!result.partial) {
+    result.partial = true;
+    result.abort_error = fatal_;
+    result.failure = std::string(phase_) + ": device lost (" +
+                     runtime::probe_error_name(fatal_) + ")";
+    note("irrecoverable fault during " + std::string(phase_) + " (" +
+         runtime::probe_error_name(fatal_) + "); stopping with a checkpoint");
+  }
+  return true;
+}
+
+ProbeOutcome Attack::probe(const std::vector<u8>& bytes) {
   ++probe_calls_;
-  if (config_.cache == nullptr) return oracle_.run(bytes, config_.words);
+  const std::span<const std::vector<u8>> one(&bytes, 1);
+  if (config_.cache == nullptr) {
+    ++paper_runs_;
+    return finalize(std::move(confirm_batch(one)[0]));
+  }
   const runtime::ProbeKey key = runtime::make_probe_key(bytes, config_.words);
   if (auto cached = config_.cache->lookup(key)) {
     ++cache_hits_;
-    return *cached;
+    return ProbeOutcome(std::move(*cached));
   }
-  auto result = oracle_.run(bytes, config_.words);
-  config_.cache->store(key, result);
-  return result;
+  ++paper_runs_;
+  ProbeOutcome result = std::move(confirm_batch(one)[0]);
+  if (cacheable(result)) config_.cache->store(key, result.to_optional());
+  return finalize(std::move(result));
 }
 
-std::vector<std::optional<std::vector<u32>>> Attack::probe_batch(
-    std::span<const std::vector<u8>> batch) {
+std::vector<ProbeOutcome> Attack::probe_batch(std::span<const std::vector<u8>> batch) {
   probe_calls_ += batch.size();
-  if (config_.cache == nullptr) return oracle_.run_batch(batch, config_.words);
+  if (config_.cache == nullptr) {
+    paper_runs_ += batch.size();
+    auto out = confirm_batch(batch);
+    for (auto& o : out) o = finalize(std::move(o));
+    return out;
+  }
 
   // Cache-aware batching, equivalent to probing the elements in order: each
   // element does exactly one cache lookup; the unique misses run as one
@@ -65,7 +188,7 @@ std::vector<std::optional<std::vector<u32>>> Attack::probe_batch(
   // lookup after that store, so it hits — the same interaction sequence the
   // serial loop produces.
   const size_t n = batch.size();
-  std::vector<std::optional<std::vector<u32>>> out(n);
+  std::vector<ProbeOutcome> out(n);
   struct KeyHash {
     size_t operator()(const runtime::ProbeKey& k) const {
       return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull) ^ k.words);
@@ -84,7 +207,7 @@ std::vector<std::optional<std::vector<u32>>> Attack::probe_batch(
     }
     if (auto cached = config_.cache->lookup(keys[i])) {
       ++cache_hits_;
-      out[i] = std::move(*cached);
+      out[i] = ProbeOutcome(std::move(*cached));
       continue;
     }
     first_miss.emplace(keys[i], i);
@@ -92,16 +215,23 @@ std::vector<std::optional<std::vector<u32>>> Attack::probe_batch(
     miss_index.push_back(i);
   }
   if (!misses.empty()) {
-    auto results = oracle_.run_batch(misses, config_.words);
+    paper_runs_ += misses.size();
+    auto results = confirm_batch(misses);
     for (size_t k = 0; k < misses.size(); ++k) {
-      config_.cache->store(keys[miss_index[k]], results[k]);
-      out[miss_index[k]] = std::move(results[k]);
+      if (cacheable(results[k])) {
+        config_.cache->store(keys[miss_index[k]], results[k].to_optional());
+      }
+      out[miss_index[k]] = finalize(std::move(results[k]));
     }
   }
   for (const size_t i : dups) {
     if (auto cached = config_.cache->lookup(keys[i])) {
       ++cache_hits_;
-      out[i] = std::move(*cached);
+      out[i] = ProbeOutcome(std::move(*cached));
+    } else {
+      // The first occurrence ended in an uncacheable (fatal) outcome; the
+      // duplicate shares it without pretending a cache hit happened.
+      out[i] = out[first_miss[keys[i]]];
     }
   }
   return out;
@@ -121,48 +251,80 @@ std::vector<u8> Attack::with_patches(const std::vector<u8>& base,
   return bytes;
 }
 
+AttackCheckpoint Attack::make_checkpoint(const AttackResult& result) const {
+  AttackCheckpoint cp;
+  cp.phase = phase_;
+  cp.completed = completed_phases_;
+  cp.lut1 = result.lut1;
+  cp.feedback = result.feedback;
+  for (const Patch& p : beta_patches_) cp.beta.push_back({p.byte_index, p.order, p.init});
+  cp.load_active_high = result.load_active_high;
+  return cp;
+}
+
 AttackResult Attack::execute() {
   AttackResult result;
   active_ = &result;
+  initial_oracle_runs_ = oracle_.runs();
+  phase_ = "setup";
 
   // Step 0: baseline keystream and CRC neutralization.
+  bool ok = true;
   const auto z0 = probe(golden_);
-  if (!z0) {
+  if (lost(result)) {
+    ok = false;
+  } else if (!z0) {
     result.failure = "golden bitstream rejected by device";
-    active_ = nullptr;
-    return result;
-  }
-  z_golden_ = *z0;
-  base_ = golden_;
-  if (config_.crc == CrcHandling::kDisable) {
-    const size_t disabled = bitstream::disable_crc(base_);
-    note("disabled " + std::to_string(disabled) + " CRC check(s)");
-    const auto z1 = probe(base_);
-    if (!z1 || *z1 != z_golden_) {
-      result.failure = "CRC-disabled bitstream does not behave like the original";
-      active_ = nullptr;
-      return result;
-    }
+    ok = false;
   } else {
-    note("CRC handling: recompute-and-replace on every probe");
+    z_golden_ = *z0;
+    base_ = golden_;
+    if (config_.crc == CrcHandling::kDisable) {
+      const size_t disabled = bitstream::disable_crc(base_);
+      note("disabled " + std::to_string(disabled) + " CRC check(s)");
+      const auto z1 = probe(base_);
+      if (lost(result)) {
+        ok = false;
+      } else if (!z1 || *z1 != z_golden_) {
+        result.failure = "CRC-disabled bitstream does not behave like the original";
+        ok = false;
+      }
+    } else {
+      note("CRC handling: recompute-and-replace on every probe");
+    }
   }
 
-  size_t mark = oracle_.runs();
+  size_t mark = paper_runs_;
   result.phase_runs.emplace_back("setup", mark);
-  auto tracked = [&](const char* name, bool ok) {
-    result.phase_runs.emplace_back(name, oracle_.runs() - mark);
-    mark = oracle_.runs();
-    return ok;
-  };
-  const bool ok = tracked("z-path", phase_zpath(result)) &&
-                  tracked("beta", phase_beta(result)) &&
-                  tracked("feedback", phase_feedback(result)) &&
-                  tracked("alpha2", phase_alpha2(result)) &&
-                  tracked("extract", phase_extract(result));
+  if (ok) {
+    struct PhaseFn {
+      const char* name;
+      bool (Attack::*fn)(AttackResult&);
+    };
+    static constexpr PhaseFn kPhases[] = {{"z-path", &Attack::phase_zpath},
+                                          {"beta", &Attack::phase_beta},
+                                          {"feedback", &Attack::phase_feedback},
+                                          {"alpha2", &Attack::phase_alpha2},
+                                          {"extract", &Attack::phase_extract}};
+    for (const PhaseFn& ph : kPhases) {
+      phase_ = ph.name;
+      ok = (this->*ph.fn)(result);
+      result.phase_runs.emplace_back(ph.name, paper_runs_ - mark);
+      mark = paper_runs_;
+      if (!ok) break;
+      completed_phases_.push_back(ph.name);
+    }
+  }
   result.success = ok;
-  result.oracle_runs = oracle_.runs();
+  result.oracle_runs = paper_runs_;
   result.cache_hits = cache_hits_;
   result.probe_calls = probe_calls_;
+  result.physical_runs = oracle_.runs() - initial_oracle_runs_;
+  result.retry_runs = stats_.retry_runs;
+  result.vote_runs = stats_.vote_runs;
+  result.corruption_detections = stats_.corruptions;
+  result.transient_rejections = stats_.transient_rejections;
+  result.checkpoint = make_checkpoint(result);
   active_ = nullptr;
   return result;
 }
@@ -185,6 +347,7 @@ bool Attack::phase_zpath(AttackResult& result) {
       if (!probed.insert(m.byte_index).second) continue;
       // alpha: f = 0 — stuck the whole LUT at 0 and watch which bit dies.
       const auto z = probe(with_patches(base_, {{m.byte_index, m.order, 0}}));
+      if (lost(result)) return false;
       if (!z) continue;
       int dead_bit = -1;
       bool clean = true;
@@ -301,14 +464,16 @@ bool Attack::phase_beta(AttackResult& result) {
       const auto z = probe(with_patches(base_, set));
       return z && *z == ref;
     };
-    if (attempt(patches)) {
+    const bool whole_set_works = attempt(patches);
+    if (lost(result)) return false;
+    if (whole_set_works) {
       beta_patches_ = std::move(patches);
     } else {
       // Leave-one-out refinement: a handful of false positives may have
       // landed on non-MUX logic; drop the ones whose removal helps.
       std::vector<Patch> kept = patches;
       bool fixed = false;
-      for (size_t i = 0; i < patches.size() && !fixed; ++i) {
+      for (size_t i = 0; i < patches.size() && !fixed && !device_lost(); ++i) {
         std::vector<Patch> trial;
         for (size_t j = 0; j < kept.size(); ++j) {
           if (kept[j].byte_index != patches[i].byte_index) trial.push_back(kept[j]);
@@ -319,6 +484,7 @@ bool Attack::phase_beta(AttackResult& result) {
           fixed = true;
         }
       }
+      if (lost(result)) return false;
       if (!fixed) continue;  // try the other polarity
       beta_patches_ = std::move(kept);
     }
@@ -336,6 +502,7 @@ bool Attack::phase_beta(AttackResult& result) {
          " MUX rewrites, load active-" + (active_high ? "high" : "low"));
     return true;
   }
+  if (lost(result)) return false;
   result.failure = "beta fault (all-zero LFSR load) could not be established";
   return false;
 }
@@ -394,7 +561,7 @@ bool Attack::phase_feedback(AttackResult& result) {
   // Classification of one probe result; the probes themselves run in
   // batched rounds (probe_batch) because no rewrite's outcome influences
   // which other rewrites of the same round are probed.
-  auto classify = [&](FeedbackLut lut, const std::optional<std::vector<u32>>& z) {
+  auto classify = [&](FeedbackLut lut, const ProbeOutcome& z) {
     if (!z || *z == no_effect) return false;
     const auto it = signature_to_bit.find(*z);
     if (it == signature_to_bit.end()) return false;
@@ -440,6 +607,7 @@ bool Attack::phase_feedback(AttackResult& result) {
     }
     const auto zs = probe_batch(probes);
     for (size_t i = 0; i < round.size(); ++i) classify(std::move(round[i]), zs[i]);
+    if (lost(result)) return false;
   }
 
   // Stage 2 — generic sweep over every occupied, frame-aligned site, trying
@@ -572,6 +740,7 @@ bool Attack::phase_feedback(AttackResult& result) {
               classified_sites.insert(window[gates[i].slot]);
             }
           }
+          if (lost(result)) return false;
         }
       }
     }
@@ -590,6 +759,7 @@ bool Attack::phase_feedback(AttackResult& result) {
     all.push_back(feedback_patch(base_beta, base_beta, f));
   }
   const auto z = probe(with_patches(base_beta, all));
+  if (lost(result)) return false;
   const std::vector<u32> table3 =
       reference(snow3g::FaultConfig::key_independent(), config_.words);
   if (!z || *z != table3) {
@@ -628,6 +798,7 @@ bool Attack::phase_alpha2(AttackResult& result) {
       patches.push_back({lut.match.byte_index, lut.match.order, rewrite.bits()});
     }
     const auto z = probe(with_patches(base_, patches));
+    if (lost(result)) return false;
     if (!z) continue;
     for (ZPathLut& lut : result.lut1) {
       if (lut.s0_var >= 0) continue;
@@ -671,6 +842,7 @@ bool Attack::phase_extract(AttackResult& result) {
     patches.push_back({lut.match.byte_index, lut.match.order, rewrite.bits()});
   }
   const auto z = probe(with_patches(base_, patches));
+  if (lost(result)) return false;
   if (!z || z->size() < 16) {
     result.failure = "final faulty bitstream rejected";
     return false;

@@ -22,14 +22,25 @@
 //
 // The attacker's interface is strictly: bytes of the bitstream, plus the
 // keystream oracle.  No netlist, placement or design knowledge is used.
+//
+// Fault tolerance (DESIGN.md §4f): every logical probe goes through the
+// PipelineConfig::retry policy — transient oracle errors are absorbed by
+// bounded retry, noisy reads are confirmed by r-repetition agreement voting,
+// and an irrecoverable fault (device death, unconfirmable reads) makes the
+// current phase return a *partial* AttackResult that carries the verified
+// artifacts so far plus a serializable AttackCheckpoint, instead of crashing
+// or acting on a corrupt read.  The paper's oracle_runs metric counts
+// logical probes only; retry/vote overhead is accounted separately.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "attack/findlut.h"
 #include "attack/oracle.h"
+#include "runtime/retry.h"
 #include "snow3g/reverse.h"
 
 namespace sbm::runtime {
@@ -54,8 +65,14 @@ struct PipelineConfig {
   CrcHandling crc = CrcHandling::kDisable;
   /// Optional probe cache: byte-identical patched bitstreams skip the
   /// simulated reconfiguration.  Hits are counted in AttackResult::cache_hits,
-  /// never in oracle_runs — the paper's cost metric stays honest.
+  /// never in oracle_runs — the paper's cost metric stays honest.  Only
+  /// confirmed results (agreement-voted values, persistent rejections) are
+  /// ever stored, so a corrupt first read cannot poison later hits.
   runtime::ProbeCache* cache = nullptr;
+  /// Retry/vote budget per logical probe.  The default is single-shot (no
+  /// overhead, byte-identical to the pre-fault-model pipeline); use
+  /// runtime::RetryPolicy::voting() against flaky hardware.
+  runtime::RetryPolicy retry;
   bool verbose = false;
 };
 
@@ -64,6 +81,7 @@ struct ZPathLut {
   unsigned bit = 0;           // keystream bit this LUT drives
   std::array<u8, 3> trio{};   // stored-table positions of the XOR trio
   int s0_var = -1;            // trio member carrying s0 (set by phase 4)
+  bool operator==(const ZPathLut&) const = default;
 };
 
 /// A verified feedback-path rewrite.  The recipe is stored relative to the
@@ -79,10 +97,41 @@ struct FeedbackLut {
   bool zero_all = false;        // zero the selected (half-)table
   std::vector<u8> zero_vars;    // else cofactor these positions to 0
   unsigned bit = 0;             // W bit this rewrite cuts
+  bool operator==(const FeedbackLut&) const = default;
+};
+
+/// Serializable record of everything the attack has verified so far: the
+/// artifact a dead board leaves behind.  Produced on every run (complete or
+/// partial) and round-trips through JSON, so a campaign can persist it and
+/// a later session can resume the analysis without re-spending the probes.
+struct AttackCheckpoint {
+  std::string phase;                   // last phase entered
+  std::vector<std::string> completed;  // phases completed, pipeline order
+  std::vector<ZPathLut> lut1;
+  std::vector<FeedbackLut> feedback;
+  struct BetaPatch {
+    size_t byte_index = 0;
+    std::array<u8, 4> order{};
+    u64 init = 0;
+    bool operator==(const BetaPatch&) const = default;
+  };
+  std::vector<BetaPatch> beta;
+  bool load_active_high = true;
+
+  bool operator==(const AttackCheckpoint&) const = default;
+
+  std::string to_json() const;
+  static std::optional<AttackCheckpoint> from_json(std::string_view json);
 };
 
 struct AttackResult {
   bool success = false;
+  /// An irrecoverable hardware fault (runtime::ProbeError::kDead or an
+  /// unconfirmable oracle) stopped the pipeline early: `failure` names the
+  /// phase, `abort_error` the underlying fault kind, and everything verified
+  /// before the fault is retained here and in `checkpoint`.
+  bool partial = false;
+  runtime::ProbeError abort_error = runtime::ProbeError::kNone;
   std::string failure;
   std::vector<std::string> log;
 
@@ -96,14 +145,28 @@ struct AttackResult {
   snow3g::RecoveredSecrets secrets{};
   bool key_confirmed = false;  // software model reproduces the clean device
 
+  /// The paper's cost metric: logical probes answered by the board (one per
+  /// probe even when retries/votes re-ran it physically).  Unchanged by the
+  /// retry policy and the noise level by construction.
   size_t oracle_runs = 0;
-  /// Oracle reconfigurations spent per phase (cost breakdown).
+  /// Logical probes spent per phase (cost breakdown).
   std::vector<std::pair<std::string, size_t>> phase_runs;
   /// Probe requests answered by the cache (probe_calls = oracle_runs +
   /// cache_hits when a cache is configured and the oracle accepts every
   /// golden probe).
   size_t cache_hits = 0;
   size_t probe_calls = 0;
+
+  /// Physical reconfigurations actually performed, including retry and vote
+  /// overhead: physical_runs = oracle_runs + retry_runs + vote_runs.
+  size_t physical_runs = 0;
+  size_t retry_runs = 0;  // re-issues after transient errors
+  size_t vote_runs = 0;   // confirmation reads beyond the first
+  size_t corruption_detections = 0;  // truncated or disagreeing reads seen
+  size_t transient_rejections = 0;   // rejections that vanished on retry
+
+  /// Verified-artifact snapshot (always filled; see AttackCheckpoint).
+  AttackCheckpoint checkpoint;
 };
 
 class Attack {
@@ -119,16 +182,33 @@ class Attack {
     u64 init;
   };
 
-  std::optional<std::vector<u32>> probe(const std::vector<u8>& bytes);
+  /// One *logical* probe: cache lookup, then a confirmed read — the retry
+  /// policy absorbs transient errors and agreement-votes noisy values.  The
+  /// outcome is a value, a persistent (genuine) rejection, or a fatal error
+  /// that also latches fatal_ so the current phase can stop.
+  runtime::ProbeOutcome probe(const std::vector<u8>& bytes);
   /// Batch counterpart of probe(): element i is probe(batch[i]).  Probes
   /// with no result dependency between them go through the oracle's batch
   /// interface, which packs them into 64-lane bit-sliced device runs; the
   /// cache (when configured) is consulted per element and in-batch
   /// duplicates of a miss resolve as hits, exactly as the serial order
   /// would.  Accounting is unchanged: every non-cached element is one
-  /// oracle run (one paper-cost reconfiguration).
-  std::vector<std::optional<std::vector<u32>>> probe_batch(
-      std::span<const std::vector<u8>> batch);
+  /// logical probe (one unit of the paper's cost metric), with retries and
+  /// votes tracked separately.
+  std::vector<runtime::ProbeOutcome> probe_batch(std::span<const std::vector<u8>> batch);
+  /// Confirmed execution of a batch of reads against the oracle: bounded
+  /// retry of transients, r-repetition agreement voting per the policy.
+  /// Settled outcomes are a value, kRejected (persistent), kCorrupt
+  /// (unconfirmable within the vote budget) or kDead.
+  std::vector<runtime::ProbeOutcome> confirm_batch(std::span<const std::vector<u8>> batch);
+  /// Latches the first irrecoverable error and stores confirmed outcomes in
+  /// the cache (poisoning guard: only values/persistent rejections enter).
+  runtime::ProbeOutcome finalize(runtime::ProbeOutcome outcome);
+  bool device_lost() const { return fatal_ != runtime::ProbeError::kNone; }
+  /// When an irrecoverable fault is latched: marks `result` partial, names
+  /// the phase in `failure`, and returns true (the phase must stop).
+  bool lost(AttackResult& result);
+
   std::vector<u8> with_patches(const std::vector<u8>& base, const std::vector<Patch>& patches);
   /// Replays a verified feedback rewrite for application on `base`.  The
   /// rewrite recipe was verified on the beta-patched table, so it is applied
@@ -139,6 +219,7 @@ class Attack {
   Patch feedback_patch(const std::vector<u8>& base, const std::vector<u8>& base_beta,
                        const FeedbackLut& lut) const;
   void note(std::string message);
+  AttackCheckpoint make_checkpoint(const AttackResult& result) const;
 
   bool phase_zpath(AttackResult& result);
   bool phase_beta(AttackResult& result);
@@ -150,6 +231,13 @@ class Attack {
   PipelineConfig config_;
   size_t cache_hits_ = 0;
   size_t probe_calls_ = 0;
+  /// Logical probes (the paper's metric); physical overhead is in stats_.
+  size_t paper_runs_ = 0;
+  size_t initial_oracle_runs_ = 0;
+  runtime::RetryStats stats_;
+  runtime::ProbeError fatal_ = runtime::ProbeError::kNone;
+  const char* phase_ = "setup";
+  std::vector<std::string> completed_phases_;
   std::vector<u8> golden_;     // pristine bitstream
   std::vector<u8> base_;       // golden with the CRC check disabled
   std::vector<u32> z_golden_;  // keystream of the unmodified device

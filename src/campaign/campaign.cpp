@@ -2,12 +2,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 #include "attack/pipeline.h"
 #include "attack/scan.h"
 #include "attack/scan_engine.h"
+#include "campaign/checkpoint.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "faultsim/faulty_oracle.h"
 #include "fpga/system.h"
 #include "runtime/parallel.h"
 #include "runtime/probe_cache.h"
@@ -50,25 +53,41 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   const fpga::System sys = fpga::build_system(sys_opt);
   out.lut_sites = sys.placed.phys.size();
 
-  attack::DeviceOracle oracle(sys, iv, options.scan_parallel ? pool : nullptr,
+  attack::DeviceOracle device(sys, iv, options.scan_parallel ? pool : nullptr,
                               options.batch_width);
+  // Non-quiet noise: wrap the device in the fault model (noise stream
+  // re-seeded per trial so trials stay independent) and confirm every probe
+  // by agreement voting.  The logical metrics are unchanged by construction.
+  const bool noisy = !options.noise.quiet();
+  faultsim::NoiseProfile noise = options.noise;
+  noise.seed = mix64(options.noise.seed ^ out.trial_seed);
+  faultsim::FaultyOracle faulty(device, noise);
+  attack::Oracle& oracle = noisy ? static_cast<attack::Oracle&>(faulty) : device;
+
   runtime::ProbeCache cache;
   attack::PipelineConfig cfg;
   cfg.words = options.words;
   cfg.iv = iv;
   if (options.use_probe_cache) cfg.cache = &cache;
   if (options.scan_parallel) cfg.find.pool = pool;
+  if (noisy) cfg.retry = runtime::RetryPolicy::voting(3);
   attack::Attack attack(oracle, sys.golden.bytes, cfg);
   const attack::AttackResult res = attack.execute();
 
   out.attack_success = res.success;
   out.key_match = res.success && res.secrets.key == sys_opt.key;
   out.expected = out.protected_variant ? !res.success : out.key_match;
+  out.partial = res.partial;
   out.failure = res.failure;
   out.oracle_runs = res.oracle_runs;
   out.cache_hits = res.cache_hits;
   out.probe_calls = res.probe_calls;
   out.phase_runs = res.phase_runs;
+  out.physical_runs = res.physical_runs;
+  out.retry_runs = res.retry_runs;
+  out.vote_runs = res.vote_runs;
+  out.corruption_detections = res.corruption_detections;
+  out.transient_rejections = res.transient_rejections;
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return out;
@@ -79,6 +98,29 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   CampaignReport report;
   report.options = options;
 
+  // Resume: trials the checkpoint file already covers are answered from it
+  // verbatim instead of being re-run.  The signature check rejects files
+  // from a different campaign (other seed, trial count, noise, ...).
+  std::vector<TrialOutcome> resumed(options.trials);
+  std::vector<char> have(options.trials, 0);
+  std::vector<TrialOutcome> saved;  // checkpoint contents, under save_mutex
+  if (options.resume && !options.checkpoint_path.empty()) {
+    if (auto cp = load_checkpoint(options.checkpoint_path, options)) {
+      for (TrialOutcome& t : cp->completed) {
+        if (t.index < options.trials && !have[t.index]) {
+          have[t.index] = 1;
+          resumed[t.index] = t;
+          saved.push_back(std::move(t));
+          ++report.resumed_trials;
+        }
+      }
+      if (options.verbose) {
+        std::printf("[campaign] resumed %zu/%zu trials from %s\n", report.resumed_trials,
+                    options.trials, options.checkpoint_path.c_str());
+      }
+    }
+  }
+
   runtime::ThreadPool pool(options.threads);
   report.threads_used = pool.concurrency();
   runtime::ThreadPool* scan_pool = pool.concurrency() > 1 ? &pool : nullptr;
@@ -88,11 +130,21 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   // build identical indexes on first use.
   attack::warm_scan_indexes();
 
+  std::mutex save_mutex;
+  auto record = [&](const TrialOutcome& out) {
+    if (options.checkpoint_path.empty()) return;
+    const std::lock_guard<std::mutex> lock(save_mutex);
+    saved.push_back(out);
+    save_checkpoint(options.checkpoint_path, options, saved);
+  };
+
   // Trial-level fan-out; parallel_map keeps the outcomes in trial order.
   report.trials = runtime::parallel_map(
       pool.concurrency() > 1 ? &pool : nullptr, options.trials,
       [&](size_t i) {
+        if (have[i]) return resumed[i];
         TrialOutcome out = run_trial(options, i, scan_pool);
+        record(out);
         if (options.verbose) {
           std::printf("[campaign] trial %zu/%zu: %s%s (%zu oracle runs, %zu cache hits, %.1fs)\n",
                       i + 1, options.trials, out.protected_variant ? "protected, " : "",
@@ -114,6 +166,10 @@ CampaignReport run_campaign(const CampaignOptions& options) {
     report.total_oracle_runs += t.oracle_runs;
     report.total_cache_hits += t.cache_hits;
     report.total_probe_calls += t.probe_calls;
+    report.total_physical_runs += t.physical_runs;
+    report.total_retry_runs += t.retry_runs;
+    report.total_vote_runs += t.vote_runs;
+    report.total_corruption_detections += t.corruption_detections;
     for (const auto& [phase, runs] : t.phase_runs) {
       bool found = false;
       for (auto& [name, total] : report.phase_run_totals) {
@@ -174,6 +230,14 @@ std::string CampaignReport::to_json() const {
       .field("use_probe_cache", options.use_probe_cache)
       .field("scan_parallel", options.scan_parallel)
       .field("batch_width", u64{options.batch_width});
+  w.key("noise").begin_object();
+  w.field("transient_reject", options.noise.transient_reject)
+      .field("bit_flip", options.noise.bit_flip)
+      .field("truncate", options.noise.truncate)
+      .field("timeout", options.noise.timeout)
+      .field("death", options.noise.death)
+      .field("seed", options.noise.seed);
+  w.end_object();
   w.end_object();
 
   w.key("aggregate").begin_object();
@@ -186,6 +250,11 @@ std::string CampaignReport::to_json() const {
       .field("total_oracle_runs", total_oracle_runs)
       .field("total_cache_hits", total_cache_hits)
       .field("total_probe_calls", total_probe_calls)
+      .field("total_physical_runs", total_physical_runs)
+      .field("total_retry_runs", total_retry_runs)
+      .field("total_vote_runs", total_vote_runs)
+      .field("total_corruption_detections", total_corruption_detections)
+      .field("resumed_trials", resumed_trials)
       .field("scan_index_cache_entries", scan_index_cache_entries)
       .field("wall_seconds", wall_seconds)
       .field("fingerprint", fingerprint());
@@ -195,25 +264,7 @@ std::string CampaignReport::to_json() const {
   w.end_object();
 
   w.key("trials").begin_array();
-  for (const TrialOutcome& t : trials) {
-    w.begin_object();
-    w.field("index", t.index)
-        .field("trial_seed", t.trial_seed)
-        .field("protected", t.protected_variant)
-        .field("attack_success", t.attack_success)
-        .field("key_match", t.key_match)
-        .field("expected", t.expected)
-        .field("failure", t.failure)
-        .field("oracle_runs", t.oracle_runs)
-        .field("cache_hits", t.cache_hits)
-        .field("probe_calls", t.probe_calls)
-        .field("lut_sites", t.lut_sites)
-        .field("wall_seconds", t.wall_seconds);
-    w.key("phase_runs").begin_object();
-    for (const auto& [phase, runs] : t.phase_runs) w.field(phase, runs);
-    w.end_object();
-    w.end_object();
-  }
+  for (const TrialOutcome& t : trials) write_trial(w, t);
   w.end_array();
   w.end_object();
   return w.str();

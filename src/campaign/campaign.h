@@ -9,12 +9,19 @@
 // rather than on one board.
 //
 // Determinism contract: every field of the report except wall-clock timings
-// is a pure function of CampaignOptions — trials derive their randomness
-// from (options.seed, trial index) only, and the runtime layer guarantees
-// scan results are independent of the thread count.  fingerprint() digests
-// exactly the timing-free fields, so `fingerprint(threads=1) ==
-// fingerprint(threads=N)` is the subsystem's contract and is enforced by
+// and physical-layer retry accounting is a pure function of CampaignOptions
+// — trials derive their randomness from (options.seed, trial index) only,
+// noise streams from (noise.seed, trial seed, physical run index) only, and
+// the runtime layer guarantees scan results are independent of the thread
+// count.  fingerprint() digests exactly the timing-free logical fields, so
+// `fingerprint(threads=1) == fingerprint(threads=N)` is the subsystem's
+// contract — including across checkpoint/resume — and is enforced by
 // tests/test_campaign.cpp.
+//
+// Fault tolerance (DESIGN.md §4f): a non-quiet `noise` profile wraps every
+// trial's device in a FaultyOracle and upgrades the pipeline to voting
+// probes; `checkpoint_path` persists completed trials after each finish so a
+// killed campaign resumes without re-spending them.
 #pragma once
 
 #include <string>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "faultsim/noise.h"
 
 namespace sbm::runtime {
 class ThreadPool;
@@ -51,6 +59,18 @@ struct CampaignOptions {
   /// reference path; any width yields bit-identical trial outcomes (the
   /// fingerprint() contract extends over this knob).
   unsigned batch_width = 64;
+  /// Unreliable-hardware model: a non-quiet profile wraps each trial's
+  /// device in a faultsim::FaultyOracle (noise stream re-seeded per trial)
+  /// and the pipeline probes with runtime::RetryPolicy::voting(3).  The
+  /// logical metrics — and therefore fingerprint() — are unchanged from the
+  /// clean run by the accounting contract.
+  faultsim::NoiseProfile noise{};
+  /// When non-empty, every completed trial is appended to this JSON file
+  /// (atomically rewritten under a lock), so a killed campaign can resume.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` first and skip trials it already covers.  The
+  /// checkpoint's options signature must match, else it is ignored.
+  bool resume = false;
   bool verbose = false;
 };
 
@@ -63,12 +83,23 @@ struct TrialOutcome {
   /// Trial behaved as the paper predicts: key recovered on an unprotected
   /// victim, attack defeated on a protected one.
   bool expected = false;
+  /// The device was lost mid-attack (irrecoverable fault); the trial carries
+  /// whatever the pipeline verified before dying.
+  bool partial = false;
   std::string failure;  // pipeline failure reason when !attack_success
   size_t oracle_runs = 0;
   size_t cache_hits = 0;
   size_t probe_calls = 0;
   size_t lut_sites = 0;  // victim fabric size (varies with the placement seed)
   std::vector<std::pair<std::string, size_t>> phase_runs;
+  /// Physical-layer accounting under noise (physical_runs = oracle_runs +
+  /// retry_runs + vote_runs).  Informational — excluded from fingerprint(),
+  /// which digests only the logical outcome.
+  size_t physical_runs = 0;
+  size_t retry_runs = 0;
+  size_t vote_runs = 0;
+  size_t corruption_detections = 0;
+  size_t transient_rejections = 0;
   double wall_seconds = 0;  // informational only — excluded from fingerprint()
 };
 
@@ -83,6 +114,12 @@ struct CampaignReport {
   size_t total_oracle_runs = 0;
   size_t total_cache_hits = 0;
   size_t total_probe_calls = 0;
+  size_t total_physical_runs = 0;
+  size_t total_retry_runs = 0;
+  size_t total_vote_runs = 0;
+  size_t total_corruption_detections = 0;
+  /// Trials answered from the resume checkpoint instead of being re-run.
+  size_t resumed_trials = 0;
   /// Per-phase oracle-run totals summed across trials, in pipeline order.
   std::vector<std::pair<std::string, size_t>> phase_run_totals;
   double wall_seconds = 0;
@@ -94,8 +131,9 @@ struct CampaignReport {
   size_t scan_index_cache_entries = 0;
 
   bool all_expected() const;
-  /// Digest of every timing-independent field of every trial, in trial
-  /// order.  Identical for 1 and N threads by the determinism contract.
+  /// Digest of every timing-independent logical field of every trial, in
+  /// trial order.  Identical for 1 and N threads, any batch width, and
+  /// across checkpoint/resume, by the determinism contract.
   u64 fingerprint() const;
   std::string to_json() const;
 };

@@ -1,0 +1,180 @@
+#include "campaign/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace sbm::campaign {
+
+namespace {
+
+constexpr u64 kCheckpointVersion = 1;
+
+constexpr u64 mix64(u64 z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string data;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return data;
+}
+
+}  // namespace
+
+u64 options_signature(const CampaignOptions& options) {
+  u64 h = mix64(kCheckpointVersion);
+  auto fold = [&h](u64 v) { h = mix64(h ^ (v + 0x9e3779b97f4a7c15ull)); };
+  fold(options.trials);
+  fold(options.seed);
+  fold(options.protected_every);
+  fold(options.words);
+  fold(options.use_probe_cache ? 1 : 2);
+  fold(std::bit_cast<u64>(options.noise.transient_reject));
+  fold(std::bit_cast<u64>(options.noise.bit_flip));
+  fold(std::bit_cast<u64>(options.noise.truncate));
+  fold(std::bit_cast<u64>(options.noise.timeout));
+  fold(std::bit_cast<u64>(options.noise.death));
+  fold(options.noise.seed);
+  return h;
+}
+
+void write_trial(JsonWriter& w, const TrialOutcome& t) {
+  w.begin_object();
+  w.field("index", t.index)
+      .field("trial_seed", t.trial_seed)
+      .field("protected", t.protected_variant)
+      .field("attack_success", t.attack_success)
+      .field("key_match", t.key_match)
+      .field("expected", t.expected)
+      .field("partial", t.partial)
+      .field("failure", t.failure)
+      .field("oracle_runs", t.oracle_runs)
+      .field("cache_hits", t.cache_hits)
+      .field("probe_calls", t.probe_calls)
+      .field("lut_sites", t.lut_sites)
+      .field("physical_runs", t.physical_runs)
+      .field("retry_runs", t.retry_runs)
+      .field("vote_runs", t.vote_runs)
+      .field("corruption_detections", t.corruption_detections)
+      .field("transient_rejections", t.transient_rejections)
+      .field("wall_seconds", t.wall_seconds);
+  w.key("phase_runs").begin_object();
+  for (const auto& [phase, runs] : t.phase_runs) w.field(phase, runs);
+  w.end_object();
+  w.end_object();
+}
+
+std::optional<TrialOutcome> trial_from_json(const JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  const JsonValue* index = v.find("index");
+  const JsonValue* trial_seed = v.find("trial_seed");
+  const JsonValue* phase_runs = v.find("phase_runs");
+  if (index == nullptr || trial_seed == nullptr || phase_runs == nullptr ||
+      !phase_runs->is_object()) {
+    return std::nullopt;
+  }
+  TrialOutcome t;
+  t.index = static_cast<size_t>(index->as_u64());
+  t.trial_seed = trial_seed->as_u64();
+  auto get_bool = [&](const char* name, bool& out) {
+    if (const JsonValue* f = v.find(name)) out = f->as_bool();
+  };
+  auto get_size = [&](const char* name, size_t& out) {
+    if (const JsonValue* f = v.find(name)) out = static_cast<size_t>(f->as_u64());
+  };
+  get_bool("protected", t.protected_variant);
+  get_bool("attack_success", t.attack_success);
+  get_bool("key_match", t.key_match);
+  get_bool("expected", t.expected);
+  get_bool("partial", t.partial);
+  if (const JsonValue* f = v.find("failure")) t.failure = f->as_string();
+  get_size("oracle_runs", t.oracle_runs);
+  get_size("cache_hits", t.cache_hits);
+  get_size("probe_calls", t.probe_calls);
+  get_size("lut_sites", t.lut_sites);
+  get_size("physical_runs", t.physical_runs);
+  get_size("retry_runs", t.retry_runs);
+  get_size("vote_runs", t.vote_runs);
+  get_size("corruption_detections", t.corruption_detections);
+  get_size("transient_rejections", t.transient_rejections);
+  if (const JsonValue* f = v.find("wall_seconds")) t.wall_seconds = f->as_double();
+  for (const auto& [name, runs] : phase_runs->members) {
+    t.phase_runs.emplace_back(name, static_cast<size_t>(runs.as_u64()));
+  }
+  return t;
+}
+
+std::string checkpoint_to_json(const CampaignOptions& options,
+                               const std::vector<TrialOutcome>& completed) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("version", kCheckpointVersion);
+  w.field("options_signature", options_signature(options));
+  w.field("trials_total", options.trials);
+  w.key("completed").begin_array();
+  for (const TrialOutcome& t : completed) write_trial(w, t);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<CampaignCheckpoint> checkpoint_from_json(std::string_view json) {
+  const std::optional<JsonValue> doc = parse_json(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* version = doc->find("version");
+  const JsonValue* signature = doc->find("options_signature");
+  const JsonValue* completed = doc->find("completed");
+  if (version == nullptr || version->as_u64() != kCheckpointVersion || signature == nullptr ||
+      completed == nullptr || !completed->is_array()) {
+    return std::nullopt;
+  }
+  CampaignCheckpoint cp;
+  cp.signature = signature->as_u64();
+  for (const JsonValue& item : completed->items) {
+    auto t = trial_from_json(item);
+    if (!t) return std::nullopt;
+    cp.completed.push_back(std::move(*t));
+  }
+  return cp;
+}
+
+bool save_checkpoint(const std::string& path, const CampaignOptions& options,
+                     const std::vector<TrialOutcome>& completed) {
+  const std::string json = checkpoint_to_json(options, completed);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  const CampaignOptions& options) {
+  const auto data = read_file(path);
+  if (!data) return std::nullopt;
+  auto cp = checkpoint_from_json(*data);
+  if (!cp || cp->signature != options_signature(options)) return std::nullopt;
+  return cp;
+}
+
+}  // namespace sbm::campaign

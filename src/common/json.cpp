@@ -1,6 +1,8 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sbm {
 
@@ -107,6 +109,203 @@ JsonWriter& JsonWriter::value(int v) {
   comma();
   out_ += std::to_string(v);
   return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+u64 JsonValue::as_u64(u64 fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtoull(number.c_str(), nullptr, 10);
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtod(number.c_str(), nullptr);
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind == Kind::kBool ? boolean : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over the document text.  Depth-bounded so a
+/// hostile checkpoint file cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the BMP code point (the writer only ever emits
+          // \u00XX control escapes, but accept the general form).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue v;
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = c == 't';
+      if (!literal(c == 't' ? "true" : "false")) return std::nullopt;
+      return v;
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      while (true) {
+        auto item = parse_value(depth + 1);
+        if (!item) return std::nullopt;
+        v.items.push_back(std::move(*item));
+        if (consume(']')) return v;
+        if (!consume(',')) return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key || !consume(':')) return std::nullopt;
+        auto member = parse_value(depth + 1);
+        if (!member) return std::nullopt;
+        v.members.emplace_back(std::move(*key), std::move(*member));
+        if (consume('}')) return v;
+        if (!consume(',')) return std::nullopt;
+      }
+    }
+    // Number: keep the raw token for lossless integer round-trips.
+    const size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if ((d >= '0' && d <= '9')) {
+        digits = true;
+        ++pos_;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return std::nullopt;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
 }
 
 }  // namespace sbm

@@ -1,11 +1,20 @@
-// Minimal JSON emission for machine-readable reports (campaign summaries,
-// bench artifacts).  Writer only — nothing in this codebase consumes JSON —
-// with just enough structure tracking to guarantee well-formed output:
+// Minimal JSON emission and parsing for machine-readable artifacts
+// (campaign summaries, bench baselines, attack/campaign checkpoints).
+//
+// JsonWriter tracks just enough structure to guarantee well-formed output:
 // commas, key/value alternation and brace balance are handled here, string
 // escaping covers the control range, and doubles round-trip via %.17g.
+//
+// JsonValue/parse_json is the matching reader, grown for checkpoint/resume.
+// Numbers keep their source token so 64-bit integers (seeds, fingerprints)
+// round-trip exactly instead of being squeezed through a double.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/bits.h"
 
@@ -49,5 +58,36 @@ class JsonWriter {
   std::string stack_;
   bool need_comma_ = false;
 };
+
+/// A parsed JSON document node.  Object members keep document order (the
+/// writer emits ordered objects, e.g. per-phase run counts).
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Numbers keep the raw token; as_u64/as_double parse lazily, losslessly.
+  std::string number;
+  std::string string;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; return the fallback on kind mismatch.
+  u64 as_u64(u64 fallback = 0) const;
+  double as_double(double fallback = 0) const;
+  bool as_bool(bool fallback = false) const;
+  const std::string& as_string() const { return string; }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Returns nullopt on malformed input.  Handles the subset JsonWriter
+/// emits, plus standard escapes including \uXXXX for the BMP.
+std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace sbm

@@ -1,0 +1,66 @@
+// FaultyOracle: decorator that makes any Oracle behave like flaky hardware.
+//
+// Wraps an inner oracle and injects faults — from a seeded NoiseProfile or a
+// scripted FaultPlan — into every physical run.  Fault draws are a pure
+// function of (seed, physical run index); run indexes are assigned in
+// element order inside run_batch before the inner (possibly parallel,
+// bit-sliced) execution, so the fault sequence is identical for any batch
+// width or thread count given the same probe order.
+//
+// The decorator is the hardware boundary for cost accounting: its runs()
+// counter is the number of physical reconfiguration attempts the attacker
+// paid for, including runs that ended in an injected fault.
+#pragma once
+
+#include "attack/oracle.h"
+#include "faultsim/noise.h"
+#include "runtime/retry.h"
+
+namespace sbm::faultsim {
+
+class FaultyOracle : public attack::Oracle {
+ public:
+  /// Stochastic noise drawn from `profile` (seeded, deterministic).
+  FaultyOracle(attack::Oracle& inner, NoiseProfile profile)
+      : inner_(inner), profile_(profile) {}
+  /// Scripted faults at exact physical run indexes; unlisted runs are clean.
+  FaultyOracle(attack::Oracle& inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)), scripted_(true) {}
+
+  runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override;
+  std::vector<runtime::ProbeOutcome> run_batch(std::span<const std::vector<u8>> bitstreams,
+                                               size_t words) override;
+
+  /// The device died permanently (kKill fired or profile.death triggered).
+  bool dead() const { return dead_; }
+  /// Physical run index the device died at (runs() order), or SIZE_MAX.
+  size_t died_at() const { return died_at_; }
+
+  // Injection counters (test/report instrumentation; a real attacker only
+  // sees the observable outcomes).
+  size_t injected_rejections() const { return injected_rejections_; }
+  size_t injected_flips() const { return injected_flips_; }
+  size_t injected_truncations() const { return injected_truncations_; }
+  size_t injected_timeouts() const { return injected_timeouts_; }
+
+ private:
+  /// Decides the fault for physical run `index` (does not apply it).
+  FaultAction draw(size_t index) const;
+  /// Applies `action` to the inner outcome for run `index`, updating the
+  /// injection counters.  `index` seeds the bit-flip position draws.
+  runtime::ProbeOutcome apply(size_t index, FaultAction action, runtime::ProbeOutcome inner,
+                              size_t words);
+
+  attack::Oracle& inner_;
+  NoiseProfile profile_{};
+  FaultPlan plan_;
+  bool scripted_ = false;
+  bool dead_ = false;
+  size_t died_at_ = static_cast<size_t>(-1);
+  size_t injected_rejections_ = 0;
+  size_t injected_flips_ = 0;
+  size_t injected_truncations_ = 0;
+  size_t injected_timeouts_ = 0;
+};
+
+}  // namespace sbm::faultsim

@@ -1,0 +1,50 @@
+#include "faultsim/noise.h"
+
+#include <cstdlib>
+
+namespace sbm::faultsim {
+
+NoiseProfile NoiseProfile::mild() {
+  NoiseProfile p;
+  p.transient_reject = 0.02;
+  p.bit_flip = 1e-3;
+  p.truncate = 0.005;
+  p.timeout = 0.005;
+  return p;
+}
+
+NoiseProfile NoiseProfile::harsh() {
+  NoiseProfile p;
+  p.transient_reject = 0.05;
+  p.bit_flip = 2e-3;
+  p.truncate = 0.01;
+  p.timeout = 0.01;
+  return p;
+}
+
+std::optional<NoiseProfile> NoiseProfile::named(std::string_view spec) {
+  std::string_view name = spec;
+  std::optional<u64> seed;
+  if (const size_t at = spec.find('@'); at != std::string_view::npos) {
+    name = spec.substr(0, at);
+    const std::string tail(spec.substr(at + 1));
+    char* end = nullptr;
+    const u64 value = std::strtoull(tail.c_str(), &end, 0);
+    if (end == tail.c_str() || *end != '\0') return std::nullopt;
+    seed = value;
+  }
+  NoiseProfile p;
+  if (name == "none") {
+    p = none();
+  } else if (name == "mild") {
+    p = mild();
+  } else if (name == "harsh") {
+    p = harsh();
+  } else {
+    return std::nullopt;
+  }
+  if (seed) p.seed = *seed;
+  return p;
+}
+
+}  // namespace sbm::faultsim

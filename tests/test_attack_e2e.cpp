@@ -120,7 +120,7 @@ TEST(AttackE2E, WorksThroughTheEncryptedEnvelope) {
     EncryptedOracle(const fpga::System& sys, crypto::Aes256Key ke, bitstream::AuthKey ka,
                     snow3g::Iv iv)
         : sys_(sys), ke_(ke), ka_(ka), iv_(iv) {}
-    std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override {
+    runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override {
       ++runs_;
       const auto enc = bitstream::protect_bitstream(bitstream, ke_, ka_, {});
       fpga::Device dev = sys_.make_device();

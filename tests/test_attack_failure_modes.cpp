@@ -13,7 +13,7 @@ namespace {
 /// An oracle for a device that refuses every bitstream (e.g. eFUSE-locked).
 class RejectingOracle : public Oracle {
  public:
-  std::optional<std::vector<u32>> run(std::span<const u8>, size_t) override {
+  runtime::ProbeOutcome run(std::span<const u8>, size_t) override {
     ++runs_;
     return std::nullopt;
   }
@@ -23,7 +23,7 @@ class RejectingOracle : public Oracle {
 /// (e.g. the probe is not actually connected to the keystream port).
 class GarbageOracle : public Oracle {
  public:
-  std::optional<std::vector<u32>> run(std::span<const u8>, size_t words) override {
+  runtime::ProbeOutcome run(std::span<const u8>, size_t words) override {
     ++runs_;
     return std::vector<u32>(words, 0x42424242u);
   }

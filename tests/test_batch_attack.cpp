@@ -138,7 +138,7 @@ TEST(BatchOracle, BaseClassDefaultLoopsOverRun) {
   // run_batch through the default serial loop.
   class CountingOracle : public attack::Oracle {
    public:
-    std::optional<std::vector<u32>> run(std::span<const u8> bitstream, size_t words) override {
+    runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override {
       ++runs_;
       return std::vector<u32>(words, static_cast<u32>(bitstream.size()));
     }

@@ -4,9 +4,13 @@
 // identical (minus wall-clock) for any thread count.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "attack/pipeline.h"
 #include "attack/scan.h"
 #include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
 #include "fpga/system.h"
 #include "runtime/probe_cache.h"
 #include "runtime/thread_pool.h"
@@ -168,6 +172,136 @@ TEST(Campaign, FingerprintIsThreadCountInvariant) {
     EXPECT_EQ(serial.trials[i].oracle_runs, parallel.trials[i].oracle_runs) << "trial " << i;
     EXPECT_EQ(serial.trials[i].phase_runs, parallel.trials[i].phase_runs) << "trial " << i;
   }
+}
+
+TEST(CampaignCheckpoint, TrialOutcomeRoundTripsThroughTheCheckpointFile) {
+  campaign::CampaignOptions opt;
+  opt.trials = 2;
+  opt.protected_every = 1;  // protected trial: cheap, fails fast
+  opt.seed = 0x0ddba11;
+  const campaign::TrialOutcome t = campaign::run_trial(opt, 0, nullptr);
+
+  const std::string path = ::testing::TempDir() + "sbm_trial_roundtrip.json";
+  ASSERT_TRUE(campaign::save_checkpoint(path, opt, {t}));
+  const auto cp = campaign::load_checkpoint(path, opt);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->signature, campaign::options_signature(opt));
+  ASSERT_EQ(cp->completed.size(), 1u);
+  const campaign::TrialOutcome& back = cp->completed[0];
+  EXPECT_EQ(back.index, t.index);
+  EXPECT_EQ(back.trial_seed, t.trial_seed);
+  EXPECT_EQ(back.protected_variant, t.protected_variant);
+  EXPECT_EQ(back.attack_success, t.attack_success);
+  EXPECT_EQ(back.key_match, t.key_match);
+  EXPECT_EQ(back.expected, t.expected);
+  EXPECT_EQ(back.failure, t.failure);
+  EXPECT_EQ(back.oracle_runs, t.oracle_runs);
+  EXPECT_EQ(back.cache_hits, t.cache_hits);
+  EXPECT_EQ(back.probe_calls, t.probe_calls);
+  EXPECT_EQ(back.lut_sites, t.lut_sites);
+  EXPECT_EQ(back.phase_runs, t.phase_runs);
+  EXPECT_EQ(back.physical_runs, t.physical_runs);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpoint, ResumeAfterKillYieldsIdenticalFingerprint) {
+  // The acceptance scenario: a campaign killed after trial k, resumed from
+  // its checkpoint file, reports the same fingerprint as an uninterrupted
+  // run — for 1 and for 8 worker threads.
+  campaign::CampaignOptions opt;
+  opt.trials = 4;
+  opt.protected_every = 2;  // trials 1 and 3 are cheap protected trials
+  opt.seed = 0xc4ec;
+  opt.threads = 1;
+  const campaign::CampaignReport reference = campaign::run_campaign(opt);
+  ASSERT_TRUE(reference.all_expected());
+
+  // The "killed" campaign completed trials 0 and 1 before dying.
+  std::vector<campaign::TrialOutcome> done;
+  done.push_back(campaign::run_trial(opt, 0, nullptr));
+  done.push_back(campaign::run_trial(opt, 1, nullptr));
+
+  const std::string path = ::testing::TempDir() + "sbm_campaign_resume.json";
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ASSERT_TRUE(campaign::save_checkpoint(path, opt, done));
+
+    campaign::CampaignOptions ropt = opt;
+    ropt.threads = threads;
+    ropt.checkpoint_path = path;
+    ropt.resume = true;
+    const campaign::CampaignReport resumed = campaign::run_campaign(ropt);
+    EXPECT_EQ(resumed.resumed_trials, 2u);
+    EXPECT_EQ(resumed.fingerprint(), reference.fingerprint());
+    EXPECT_EQ(resumed.total_oracle_runs, reference.total_oracle_runs);
+    EXPECT_EQ(resumed.total_cache_hits, reference.total_cache_hits);
+    EXPECT_TRUE(resumed.all_expected());
+
+    // The rewritten checkpoint now covers the whole campaign; a second
+    // resume re-runs nothing and still reports the same fingerprint.
+    campaign::CampaignReport replay = campaign::run_campaign(ropt);
+    EXPECT_EQ(replay.resumed_trials, opt.trials);
+    EXPECT_EQ(replay.fingerprint(), reference.fingerprint());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpoint, MismatchedSignatureIsIgnored) {
+  campaign::CampaignOptions opt;
+  opt.trials = 1;
+  opt.protected_every = 1;  // single cheap protected trial
+  opt.seed = 0x5119;
+  const std::string path = ::testing::TempDir() + "sbm_campaign_mismatch.json";
+  ASSERT_TRUE(campaign::save_checkpoint(path, opt, {campaign::run_trial(opt, 0, nullptr)}));
+
+  campaign::CampaignOptions other = opt;
+  other.seed = 0x5120;  // different campaign: the file must not be trusted
+  other.checkpoint_path = path;
+  other.resume = true;
+  other.threads = 1;
+  const campaign::CampaignReport report = campaign::run_campaign(other);
+  EXPECT_EQ(report.resumed_trials, 0u);
+  ASSERT_EQ(report.trials.size(), 1u);
+  EXPECT_EQ(report.trials[0].trial_seed,
+            campaign::run_trial(other, 0, nullptr).trial_seed);
+
+  // Scheduling knobs are deliberately outside the signature: resuming under
+  // a different thread count or batch width is legal.
+  campaign::CampaignOptions rescheduled = opt;
+  rescheduled.threads = 8;
+  rescheduled.batch_width = 1;
+  rescheduled.scan_parallel = false;
+  EXPECT_EQ(campaign::options_signature(rescheduled), campaign::options_signature(opt));
+  campaign::CampaignOptions renoised = opt;
+  renoised.noise = faultsim::NoiseProfile::mild();
+  EXPECT_NE(campaign::options_signature(renoised), campaign::options_signature(opt));
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpoint, NoisyCampaignTrialKeepsLogicalMetricsAndFingerprint) {
+  // One noisy trial: same victim and logical decisions as its clean twin,
+  // with the physical overhead reported on the side.
+  campaign::CampaignOptions clean_opt;
+  clean_opt.trials = 1;
+  clean_opt.seed = 0xfeedc0de;
+  clean_opt.threads = 1;
+  campaign::CampaignOptions noisy_opt = clean_opt;
+  noisy_opt.noise = faultsim::NoiseProfile::mild();
+
+  const campaign::CampaignReport clean = campaign::run_campaign(clean_opt);
+  const campaign::CampaignReport noisy = campaign::run_campaign(noisy_opt);
+  ASSERT_TRUE(clean.all_expected());
+  ASSERT_TRUE(noisy.all_expected());
+  ASSERT_EQ(noisy.trials.size(), 1u);
+  const campaign::TrialOutcome& t = noisy.trials[0];
+  EXPECT_TRUE(t.key_match);
+  EXPECT_EQ(t.oracle_runs, clean.trials[0].oracle_runs);
+  EXPECT_EQ(t.phase_runs, clean.trials[0].phase_runs);
+  EXPECT_EQ(t.physical_runs, t.oracle_runs + t.retry_runs + t.vote_runs);
+  EXPECT_GT(t.vote_runs, 0u);
+  // The fingerprint digests logical fields only, so noise cannot move it.
+  EXPECT_EQ(noisy.fingerprint(), clean.fingerprint());
+  EXPECT_LE(t.physical_runs, 3 * clean.trials[0].probe_calls);
 }
 
 }  // namespace

@@ -1,0 +1,409 @@
+// Fault-tolerant pipeline acceptance tests: the attack must recover the
+// planted key through a noisy oracle with the paper's oracle_runs metric
+// unchanged and the retry/vote overhead reported separately; scripted
+// faults must be absorbed (transients) or contained (device death -> a
+// partial AttackResult with a serializable checkpoint, never a crash and
+// never a wrong key); and the probe cache must never serve a corrupt read.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/pipeline.h"
+#include "faultsim/faulty_oracle.h"
+#include "faultsim/noise.h"
+#include "fpga/system.h"
+#include "runtime/probe_cache.h"
+#include "runtime/retry.h"
+
+namespace sbm {
+namespace {
+
+using faultsim::FaultAction;
+using faultsim::FaultPlan;
+using faultsim::FaultyOracle;
+using faultsim::NoiseProfile;
+using runtime::ProbeError;
+using runtime::ProbeOutcome;
+
+constexpr snow3g::Iv kHostIv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+
+const fpga::System& shared_system() {
+  static const fpga::System sys = fpga::build_system();
+  return sys;
+}
+
+attack::PipelineConfig cached_config(runtime::ProbeCache* cache) {
+  attack::PipelineConfig cfg;
+  cfg.iv = kHostIv;
+  cfg.cache = cache;
+  return cfg;
+}
+
+/// Clean single-shot cached reference run (shared across tests; the attack
+/// is deterministic, so one run serves as the baseline for all of them).
+const attack::AttackResult& clean_reference() {
+  static const attack::AttackResult res = [] {
+    const fpga::System& sys = shared_system();
+    attack::DeviceOracle oracle(sys, kHostIv, nullptr, 64);
+    runtime::ProbeCache cache;
+    attack::Attack attack(oracle, sys.golden.bytes, cached_config(&cache));
+    return attack.execute();
+  }();
+  return res;
+}
+
+/// A 2-of-agreement policy for scripted-fault tests: every logical probe
+/// costs exactly two physical reads on a clean board, so physical run
+/// indexes map deterministically onto the clean run's logical probe order.
+runtime::RetryPolicy pair_voting() {
+  runtime::RetryPolicy p;
+  p.max_attempts = 4;
+  p.confirm = 2;
+  p.max_reads = 8;
+  return p;
+}
+
+/// Simple deterministic inner oracle: keystream word = bitstream size.
+class SizeOracle : public attack::Oracle {
+ public:
+  ProbeOutcome run(std::span<const u8> bitstream, size_t words) override {
+    ++runs_;
+    return std::vector<u32>(words, static_cast<u32>(bitstream.size()));
+  }
+};
+
+TEST(FaultyOracle, ScriptedPlanInjectsEachFaultKind) {
+  SizeOracle inner;
+  FaultPlan plan;
+  plan.reject_at(0).flip_at(1, 0, 3).truncate_at(2, 2).timeout_at(3).kill_at(5);
+  FaultyOracle oracle(inner, plan);
+
+  const std::vector<u8> probe = {1, 2, 3, 4, 5};
+  const std::vector<u32> clean(4, 5);
+
+  const auto r0 = oracle.run(probe, 4);
+  EXPECT_EQ(r0.error(), ProbeError::kRejected);
+  const auto r1 = oracle.run(probe, 4);
+  ASSERT_TRUE(r1.ok());
+  std::vector<u32> flipped = clean;
+  flipped[0] ^= u32{1} << 3;
+  EXPECT_EQ(*r1, flipped);
+  EXPECT_EQ(oracle.run(probe, 4).error(), ProbeError::kCorrupt);
+  EXPECT_EQ(oracle.run(probe, 4).error(), ProbeError::kTimeout);
+  EXPECT_EQ(oracle.run(probe, 4), ProbeOutcome(clean));  // unlisted run is clean
+  EXPECT_FALSE(oracle.dead());
+
+  EXPECT_EQ(oracle.run(probe, 4).error(), ProbeError::kTimeout);  // the kill
+  EXPECT_TRUE(oracle.dead());
+  EXPECT_EQ(oracle.died_at(), 5u);
+  EXPECT_EQ(oracle.run(probe, 4).error(), ProbeError::kTimeout);  // dead forever
+
+  EXPECT_EQ(oracle.runs(), 7u);  // every faulted run still cost a reconfiguration
+  EXPECT_EQ(inner.runs(), 7u);
+  EXPECT_EQ(oracle.injected_rejections(), 1u);
+  EXPECT_EQ(oracle.injected_flips(), 1u);
+  EXPECT_EQ(oracle.injected_truncations(), 1u);
+  EXPECT_GE(oracle.injected_timeouts(), 3u);  // timeout + kill + post-death run
+}
+
+TEST(FaultyOracle, NoiseStreamIsIdenticalForBatchAndScalarExecution) {
+  // The fault draw depends only on (seed, physical run index), so a batch
+  // and a scalar replay of the same probe order see the same fault stream.
+  NoiseProfile noise = NoiseProfile::harsh();
+  noise.seed = 0x7e57;
+
+  std::vector<std::vector<u8>> probes;
+  for (size_t i = 0; i < 40; ++i) probes.emplace_back(i + 1, static_cast<u8>(i));
+
+  SizeOracle inner_batch;
+  FaultyOracle batched(inner_batch, noise);
+  const auto batch_out = batched.run_batch(probes, 8);
+
+  SizeOracle inner_scalar;
+  FaultyOracle scalar(inner_scalar, noise);
+  ASSERT_EQ(batch_out.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch_out[i], scalar.run(probes[i], 8)) << "run " << i;
+  }
+  EXPECT_EQ(batched.runs(), scalar.runs());
+  EXPECT_EQ(batched.injected_flips(), scalar.injected_flips());
+  EXPECT_EQ(batched.injected_rejections(), scalar.injected_rejections());
+}
+
+TEST(NoiseProfileTest, NamedProfilesParse) {
+  EXPECT_TRUE(NoiseProfile::named("none").has_value());
+  EXPECT_TRUE(NoiseProfile::named("none")->quiet());
+  ASSERT_TRUE(NoiseProfile::named("mild").has_value());
+  EXPECT_EQ(*NoiseProfile::named("mild"), NoiseProfile::mild());
+  ASSERT_TRUE(NoiseProfile::named("harsh@0x123").has_value());
+  EXPECT_EQ(NoiseProfile::named("harsh@0x123")->seed, 0x123u);
+  EXPECT_FALSE(NoiseProfile::named("bogus").has_value());
+  EXPECT_FALSE(NoiseProfile::named("mild@junk").has_value());
+  // The acceptance floor: at least 1e-3 bit flips, 2% transient rejections.
+  EXPECT_GE(NoiseProfile::mild().bit_flip, 1e-3);
+  EXPECT_GE(NoiseProfile::mild().transient_reject, 0.02);
+}
+
+// The headline acceptance test: the full attack through a mild()-noisy
+// oracle recovers the planted key; the paper's oracle_runs metric is
+// bit-identical to the clean run; retries and votes are accounted
+// separately and stay within 3x the clean run's total probe work.
+TEST(NoisyAttack, RecoversKeyWithHonestAccounting) {
+  const attack::AttackResult& clean = clean_reference();
+  ASSERT_TRUE(clean.success) << clean.failure;
+
+  const fpga::System& sys = shared_system();
+  attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+  FaultyOracle oracle(device, NoiseProfile::mild());
+  runtime::ProbeCache cache;
+  attack::PipelineConfig cfg = cached_config(&cache);
+  cfg.retry = runtime::RetryPolicy::voting(3);
+  attack::Attack attack(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult res = attack.execute();
+
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_FALSE(res.partial);
+  EXPECT_TRUE(res.key_confirmed);
+  EXPECT_EQ(res.secrets.key, sys.options.key);
+  EXPECT_EQ(res.faulty_keystream, clean.faulty_keystream);
+
+  // The paper's cost metric is unchanged by the noise.
+  EXPECT_EQ(res.oracle_runs, clean.oracle_runs);
+  EXPECT_EQ(res.cache_hits, clean.cache_hits);
+  EXPECT_EQ(res.probe_calls, clean.probe_calls);
+  EXPECT_EQ(res.phase_runs, clean.phase_runs);
+
+  // Overhead is reported separately and adds up exactly.
+  EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+  EXPECT_EQ(res.physical_runs, oracle.runs());
+  EXPECT_GT(res.vote_runs, 0u);
+  EXPECT_GT(res.retry_runs, 0u);
+  EXPECT_GT(res.corruption_detections, 0u);
+  EXPECT_GT(res.transient_rejections, 0u);
+
+  // Budget: noisy physical work <= 3x the clean run's total probe work.
+  EXPECT_LE(res.physical_runs, 3 * clean.probe_calls);
+
+  // The clean run spends zero overhead.
+  EXPECT_EQ(clean.physical_runs, clean.oracle_runs);
+  EXPECT_EQ(clean.retry_runs, 0u);
+  EXPECT_EQ(clean.vote_runs, 0u);
+}
+
+TEST(NoisyAttack, TransientFaultsOfEveryKindAreAbsorbed) {
+  const attack::AttackResult& clean = clean_reference();
+  // Physical window of the z-path phase under pair_voting() on a clean
+  // board: two reads per logical cache miss.
+  const size_t setup_misses = clean.phase_runs[0].second;
+  const size_t zpath_base = 2 * setup_misses;
+
+  const fpga::System& sys = shared_system();
+  FaultPlan plan;
+  plan.reject_at(zpath_base + 2)
+      .timeout_at(zpath_base + 5)
+      .truncate_at(zpath_base + 8, 3)
+      .flip_at(zpath_base + 11, 3, 17);
+  attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+  FaultyOracle oracle(device, plan);
+  runtime::ProbeCache cache;
+  attack::PipelineConfig cfg = cached_config(&cache);
+  cfg.retry = pair_voting();
+  attack::Attack attack(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult res = attack.execute();
+
+  ASSERT_TRUE(res.success) << res.failure;
+  EXPECT_EQ(res.secrets.key, sys.options.key);
+  EXPECT_FALSE(oracle.dead());
+
+  // Each scripted fault actually fired...
+  EXPECT_EQ(oracle.injected_rejections(), 1u);
+  EXPECT_EQ(oracle.injected_timeouts(), 1u);
+  EXPECT_EQ(oracle.injected_truncations(), 1u);
+  EXPECT_EQ(oracle.injected_flips(), 1u);
+
+  // ...and none of them shifted the logical metrics.
+  EXPECT_EQ(res.oracle_runs, clean.oracle_runs);
+  EXPECT_EQ(res.phase_runs, clean.phase_runs);
+
+  // Errors cost retries; the flip shows up as a vote disagreement; the
+  // rejection is classified transient because a retry cleared it.
+  EXPECT_EQ(res.retry_runs, 3u);
+  EXPECT_GE(res.corruption_detections, 2u);  // truncation + flip disagreement
+  EXPECT_EQ(res.transient_rejections, 1u);
+  EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+}
+
+struct KillCase {
+  const char* phase;          // phase the kill lands in
+  size_t completed_before;    // pipeline phases completed before it
+};
+
+TEST(NoisyAttack, DeathInEachPhaseYieldsPartialResultWithCheckpoint) {
+  const attack::AttackResult& clean = clean_reference();
+  ASSERT_EQ(clean.phase_runs.size(), 6u);
+
+  // Cumulative logical cache-miss count up to the start of each phase; the
+  // pair_voting() physical window of phase p is [2*cum[p], 2*cum[p+1]).
+  std::vector<size_t> cum = {0};
+  for (const auto& [name, runs] : clean.phase_runs) cum.push_back(cum.back() + runs);
+
+  const KillCase cases[] = {{"setup", 0},   {"z-path", 0},  {"beta", 1},
+                            {"feedback", 2}, {"alpha2", 3}, {"extract", 4}};
+  const std::vector<std::string> kPipelinePhases = {"z-path", "beta", "feedback", "alpha2",
+                                                    "extract"};
+  const fpga::System& sys = shared_system();
+  for (size_t p = 0; p < 6; ++p) {
+    SCOPED_TRACE(std::string("kill during ") + cases[p].phase);
+    ASSERT_GT(clean.phase_runs[p].second, 0u);
+    // Aim at the middle of the phase's physical window.
+    const size_t kill_index = 2 * cum[p] + clean.phase_runs[p].second;
+
+    attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+    FaultyOracle oracle(device, FaultPlan().kill_at(kill_index));
+    runtime::ProbeCache cache;
+    attack::PipelineConfig cfg = cached_config(&cache);
+    cfg.retry = pair_voting();
+    attack::Attack attack(oracle, sys.golden.bytes, cfg);
+    const attack::AttackResult res = attack.execute();
+
+    // Contained: a partial result naming the phase, never a wrong key.
+    EXPECT_FALSE(res.success);
+    EXPECT_FALSE(res.key_confirmed);
+    EXPECT_TRUE(res.partial);
+    EXPECT_EQ(res.abort_error, ProbeError::kDead);
+    EXPECT_NE(res.failure.find(cases[p].phase), std::string::npos) << res.failure;
+    EXPECT_TRUE(oracle.dead());
+    EXPECT_EQ(oracle.died_at(), kill_index);
+
+    // The checkpoint records exactly the phases that finished before the
+    // fault, and everything verified so far survives in the result.
+    EXPECT_EQ(res.checkpoint.phase, cases[p].phase);
+    ASSERT_LE(cases[p].completed_before, kPipelinePhases.size());
+    EXPECT_EQ(res.checkpoint.completed,
+              std::vector<std::string>(kPipelinePhases.begin(),
+                                       kPipelinePhases.begin() +
+                                           static_cast<long>(cases[p].completed_before)));
+    if (cases[p].completed_before >= 1) {
+      EXPECT_EQ(res.lut1.size(), 32u);
+    }
+    if (cases[p].completed_before >= 2) {
+      EXPECT_GT(res.mux_patches, 0u);
+    }
+    if (cases[p].completed_before >= 3) {
+      EXPECT_GE(res.feedback.size(), 32u);
+    }
+
+    // The checkpoint round-trips through JSON bit-identically.
+    const auto back = attack::AttackCheckpoint::from_json(res.checkpoint.to_json());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, res.checkpoint);
+
+    // Paper-metric honesty even on the aborted run: the logical probes it
+    // did spend are a prefix of the clean run's.
+    EXPECT_LE(res.oracle_runs, clean.oracle_runs);
+    EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+  }
+}
+
+TEST(ProbeCacheGuard, CorruptFirstReadNeverPoisonsTheCache) {
+  // Satellite regression: physical run 0 (the very first read of the golden
+  // baseline probe) comes back with one flipped keystream bit.  Voting
+  // rejects the corrupt read; only the agreed value may enter the cache.
+  const attack::AttackResult& clean = clean_reference();
+  const fpga::System& sys = shared_system();
+
+  runtime::ProbeCache cache;
+  attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+  FaultyOracle oracle(device, FaultPlan().flip_at(0, 0, 9));
+  attack::PipelineConfig cfg = cached_config(&cache);
+  cfg.retry = pair_voting();
+  attack::Attack noisy(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult first = noisy.execute();
+  ASSERT_TRUE(first.success) << first.failure;
+  EXPECT_EQ(oracle.injected_flips(), 1u);
+  EXPECT_GE(first.corruption_detections, 1u);
+
+  // A second attack shares the warmed cache with a clean single-shot oracle:
+  // if the flipped read had been stored, its very first cache hit would be
+  // the corrupt baseline and the pipeline would diverge from the reference.
+  attack::DeviceOracle verifier(sys, kHostIv, nullptr, 64);
+  attack::Attack replay(verifier, sys.golden.bytes, cached_config(&cache));
+  const attack::AttackResult second = replay.execute();
+  ASSERT_TRUE(second.success) << second.failure;
+  EXPECT_EQ(second.secrets.key, sys.options.key);
+  EXPECT_EQ(second.faulty_keystream, clean.faulty_keystream);
+  // Everything the first attack probed is served from the cache.
+  EXPECT_EQ(second.oracle_runs, 0u);
+  EXPECT_EQ(second.probe_calls, second.cache_hits);
+}
+
+TEST(ProbeCacheGuard, FatalOutcomesAreNeverStored) {
+  // A board that dies on the very first probe must leave the shared cache
+  // empty: kDead is not a result, so a later attack re-probes everything.
+  const attack::AttackResult& clean = clean_reference();
+  const fpga::System& sys = shared_system();
+
+  runtime::ProbeCache cache;
+  attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+  FaultyOracle oracle(device, FaultPlan().kill_at(0));
+  attack::PipelineConfig cfg = cached_config(&cache);
+  cfg.retry = pair_voting();
+  attack::Attack doomed(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult first = doomed.execute();
+  EXPECT_FALSE(first.success);
+  EXPECT_TRUE(first.partial);
+  EXPECT_EQ(first.checkpoint.phase, "setup");
+
+  attack::DeviceOracle fresh(sys, kHostIv, nullptr, 64);
+  attack::Attack retry_attack(fresh, sys.golden.bytes, cached_config(&cache));
+  const attack::AttackResult second = retry_attack.execute();
+  ASSERT_TRUE(second.success) << second.failure;
+  // Identical miss/hit split to a cold-cache clean run: nothing bogus was
+  // pre-seeded by the dead board.
+  EXPECT_EQ(second.oracle_runs, clean.oracle_runs);
+  EXPECT_EQ(second.cache_hits, clean.cache_hits);
+}
+
+TEST(AttackCheckpointTest, JsonRoundTripPreservesEveryField) {
+  attack::AttackCheckpoint cp;
+  cp.phase = "feedback";
+  cp.completed = {"z-path", "beta"};
+  cp.load_active_high = false;
+
+  attack::ZPathLut z;
+  z.match.byte_index = 12345;
+  z.match.matched_table = logic::TruthTable6(0xfedcba9876543210ull);
+  z.match.perm = {5, 4, 3, 2, 1, 0};
+  z.match.order = {3, 1, 2, 0};
+  z.bit = 31;
+  z.trio = {7, 9, 11};
+  z.s0_var = 2;
+  cp.lut1.push_back(z);
+
+  attack::FeedbackLut f;
+  f.byte_index = 99;
+  f.order = {0, 2, 1, 3};
+  f.half = 1;
+  f.zero_all = false;
+  f.zero_vars = {1, 4, 5};
+  f.bit = 17;
+  cp.feedback.push_back(f);
+
+  attack::AttackCheckpoint::BetaPatch b;
+  b.byte_index = 777;
+  b.order = {1, 0, 3, 2};
+  b.init = 0xffffffffffffff01ull;  // > 2^53: must survive JSON losslessly
+  cp.beta.push_back(b);
+
+  const auto back = attack::AttackCheckpoint::from_json(cp.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, cp);
+  EXPECT_EQ(back->beta[0].init, 0xffffffffffffff01ull);
+
+  EXPECT_FALSE(attack::AttackCheckpoint::from_json("not json").has_value());
+  EXPECT_FALSE(attack::AttackCheckpoint::from_json("{\"version\": 99}").has_value());
+}
+
+}  // namespace
+}  // namespace sbm

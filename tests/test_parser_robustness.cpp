@@ -83,6 +83,53 @@ TEST(ParserRobustness, TruncatedGoldenPrefixes) {
   }
 }
 
+TEST(ParserRobustness, ExhaustiveHeaderTruncationSweep) {
+  // Every prefix length through the entire header region (sync word,
+  // command packets, up to and a little past the start of frame data),
+  // including unaligned lengths: neither the parser nor the configuration
+  // engine may crash, and a rejection must carry a diagnostic.
+  const fpga::System& sys = system_instance();
+  const auto& bytes = sys.golden.bytes;
+  const size_t header_end =
+      std::min(bytes.size(), sys.golden.layout.fdri_byte_offset + 64);
+  for (size_t cut = 0; cut <= header_end; ++cut) {
+    const std::span<const u8> prefix(bytes.data(), cut);
+    const ParseResult res = parse_bitstream(prefix);
+    if (!res.ok) {
+      EXPECT_FALSE(res.error.empty()) << "cut " << cut;
+    }
+    fpga::Device dev = sys.make_device();
+    if (!dev.configure(prefix)) {
+      EXPECT_FALSE(dev.error().empty()) << "cut " << cut;
+    }
+  }
+}
+
+TEST(ParserRobustness, TenThousandSeededByteFlips) {
+  // 10k single-byte corruptions anywhere in the image — header, packet
+  // stream and frame data alike.  parse_bitstream and Device::configure
+  // must never crash; whether they accept or reject, the outcome must be a
+  // clean diagnosis, not undefined behavior.
+  const fpga::System& sys = system_instance();
+  std::vector<u8> bytes = sys.golden.bytes;
+  Rng rng(0xf1195eed);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const size_t pos = rng.next_below(bytes.size());
+    const u8 mask = static_cast<u8>(1 + rng.next_below(255));
+    bytes[pos] ^= mask;
+    const ParseResult res = parse_bitstream(bytes);
+    if (!res.ok) {
+      ASSERT_FALSE(res.error.empty()) << "trial " << trial << " pos " << pos;
+    }
+    fpga::Device dev = sys.make_device();
+    if (!dev.configure(bytes)) {
+      ASSERT_FALSE(dev.error().empty()) << "trial " << trial << " pos " << pos;
+    }
+    bytes[pos] ^= mask;  // restore the golden image for the next trial
+  }
+  EXPECT_EQ(bytes, sys.golden.bytes);
+}
+
 TEST(ParserRobustness, RecomputeCrcIsIdempotent) {
   const fpga::System& sys = system_instance();
   auto a = sys.golden.bytes;
