@@ -22,12 +22,17 @@
 #include <cstdio>
 #include <cstring>
 
+#include <string>
+
 #include "attack/findlut.h"
 #include "attack/scan.h"
 #include "attack/scan_engine.h"
 #include "bitstream/patcher.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -243,13 +248,52 @@ BENCHMARK(BM_FindLutNaiveAlgorithm1)->Arg(10)->Arg(50)->Unit(benchmark::kMillise
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
-    return run_smoke() ? 0 : 1;
+  // Strip the obs output flags before google/benchmark parses argv.
+  std::string trace_out;
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool has_next = i + 1 < argc;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && has_next) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && has_next) {
+      metrics_out = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
   }
-  std::printf("=== Section VI-B claim: FINDLUT < 4 s on a < 10 MB bitstream (k = 6) ===\n");
-  std::printf("BM_FindLutOptimized/10 below is the 10 MB measurement to compare.\n\n");
-  const bool identical = write_bench_json();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return identical ? 0 : 1;
+  argc = kept;
+  int obs_mode = static_cast<int>(obs::mode());
+  if (!trace_out.empty()) obs_mode |= static_cast<int>(obs::Mode::kTrace);
+  if (!metrics_out.empty()) obs_mode |= static_cast<int>(obs::Mode::kMetrics);
+  obs::set_mode(static_cast<obs::Mode>(obs_mode));
+
+  int status;
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    status = run_smoke() ? 0 : 1;
+  } else {
+    std::printf("=== Section VI-B claim: FINDLUT < 4 s on a < 10 MB bitstream (k = 6) ===\n");
+    std::printf("BM_FindLutOptimized/10 below is the 10 MB measurement to compare.\n\n");
+    const bool identical = write_bench_json();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    status = identical ? 0 : 1;
+  }
+
+  if (!trace_out.empty() && !obs::Tracer::global().write(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    status = 1;
+  }
+  if (!metrics_out.empty()) {
+    const std::string snapshot = obs::MetricsRegistry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      status = 1;
+    } else {
+      std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+      std::fclose(f);
+    }
+  }
+  return status;
 }

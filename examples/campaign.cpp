@@ -15,6 +15,9 @@
 #include <string>
 
 #include "campaign/campaign.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace sbm;
 
@@ -37,6 +40,10 @@ void usage(const char* argv0) {
       "  --checkpoint FILE    persist completed trials to FILE after each finish\n"
       "  --resume             skip trials FILE already covers (same campaign only)\n"
       "  --json FILE          also write the JSON report to FILE\n"
+      "  --trace-out FILE     write a Chrome trace_event JSON trace to FILE\n"
+      "                       (load in Perfetto / chrome://tracing; implies tracing on)\n"
+      "  --metrics-out FILE   write the process-wide metrics snapshot to FILE\n"
+      "                       (implies metrics on)\n"
       "  --quiet              suppress per-trial progress lines\n",
       argv0);
 }
@@ -47,6 +54,8 @@ int main(int argc, char** argv) {
   campaign::CampaignOptions opt;
   opt.verbose = true;
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +97,10 @@ int main(int argc, char** argv) {
       opt.resume = true;
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
     } else if (arg == "--quiet") {
       opt.verbose = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -100,9 +113,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The output flags turn the corresponding obs bits on in addition to
+  // whatever SBM_OBS asked for; with neither flag nor env, obs stays off.
+  int extra_mode = static_cast<int>(obs::mode());
+  if (!trace_path.empty()) extra_mode |= static_cast<int>(obs::Mode::kTrace);
+  if (!metrics_path.empty()) extra_mode |= static_cast<int>(obs::Mode::kMetrics);
+  obs::set_mode(static_cast<obs::Mode>(extra_mode));
+
   std::printf("campaign: %zu trials, %u threads requested, seed 0x%llx\n", opt.trials,
               opt.threads, static_cast<unsigned long long>(opt.seed));
   const campaign::CampaignReport report = campaign::run_campaign(opt);
+
+  if (!trace_path.empty()) {
+    if (obs::Tracer::global().write(trace_path)) {
+      std::printf("trace written         : %s (%zu events)\n", trace_path.c_str(),
+                  obs::Tracer::global().event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    const std::string snapshot = obs::MetricsRegistry::global().snapshot().to_json();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+    std::fclose(f);
+    std::printf("metrics written       : %s\n", metrics_path.c_str());
+  }
 
   std::printf("\n--- aggregate -----------------------------------------------------\n");
   std::printf("threads used          : %u\n", report.threads_used);

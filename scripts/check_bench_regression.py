@@ -8,6 +8,9 @@ contents:
 * BENCH_attack_e2e.json (written by build/bench/bench_attack_e2e): fails
   when the runtime configuration's wall_seconds regressed by more than the
   threshold, or when the scalar/batched bit-identity flag went false.
+  When both files carry the "obs" entry the observability contract is also
+  enforced: the obs-on run performs the same oracle work as the clean run,
+  and the obs-off runtime_1t stays within 3% of the instrumented baseline.
 * BENCH_findlut_scaling.json ("bench": "findlut_scaling", written by
   build/bench/bench_findlut_scaling): fails when any family-sweep row's
   engine/legacy match lists diverged (identical=false), or when a row's
@@ -47,6 +50,14 @@ def load(path):
 # the clean uncached run's oracle reconfigurations on physical probe work.
 NOISY_OVERHEAD_FACTOR = 3
 
+# Disabled-observability guarantee (DESIGN.md §4g): with SBM_OBS off, the
+# instrumented runtime_1t configuration may cost at most 3% over the
+# committed baseline (plus absolute slack for scheduler noise on short
+# runs).  Only enforced when both files carry an "obs" entry, i.e. both
+# were produced by an instrumented binary.
+OBS_DISABLED_THRESHOLD = 1.03
+OBS_ABS_SLACK_SECONDS = 0.15
+
 
 def check_attack_e2e(fresh, baseline):
     ok = True
@@ -54,7 +65,7 @@ def check_attack_e2e(fresh, baseline):
         print("FAIL: scalar and batched attack results diverged (results_identical=false)")
         ok = False
 
-    for entry in ("runtime", "runtime_1t", "noisy"):
+    for entry in ("runtime", "runtime_1t", "noisy", "obs"):
         base = baseline.get(entry, {}).get("wall_seconds")
         new = fresh.get(entry, {}).get("wall_seconds")
         if base is None or new is None:
@@ -95,6 +106,31 @@ def check_attack_e2e(fresh, baseline):
         if physical is not None and physical != expected:
             print(f"FAIL: noisy physical_runs {physical} != oracle+retry+vote {expected}")
             ok = False
+
+    obs = fresh.get("obs")
+    if obs is not None:
+        # Observability must never change logical behaviour: the traced run
+        # performs exactly the same oracle work as the clean cached run.
+        clean_runs = fresh.get("runtime_1t", {}).get("oracle_runs")
+        if clean_runs is not None and obs.get("oracle_runs") != clean_runs:
+            print(f"FAIL: obs-on oracle_runs {obs.get('oracle_runs')} != clean "
+                  f"{clean_runs} (tracing changed the attack's logical work)")
+            ok = False
+        if obs.get("trace_events", 0) <= 0:
+            print("FAIL: obs-on run recorded no trace events")
+            ok = False
+    if obs is not None and baseline.get("obs") is not None:
+        # Disabled-mode overhead guarantee: runtime_1t runs with the layer
+        # off, so against an instrumented baseline it gets the tight budget.
+        base = baseline.get("runtime_1t", {}).get("wall_seconds")
+        new = fresh.get("runtime_1t", {}).get("wall_seconds")
+        if base is not None and new is not None:
+            budget = base * OBS_DISABLED_THRESHOLD + OBS_ABS_SLACK_SECONDS
+            status = "ok" if new <= budget else "REGRESSED"
+            print(f"obs-disabled runtime_1t: {new:.3f}s vs baseline {base:.3f}s "
+                  f"(tight budget {budget:.3f}s) {status}")
+            if new > budget:
+                ok = False
     return ok
 
 

@@ -36,10 +36,11 @@ if [ ${#sanitizers[@]} -eq 0 ]; then
   sanitizers=(thread address)
 fi
 
-# The smoke subset: concurrency primitives, the fault model and the probe
-# layer — the code where a sanitizer finding is most likely and the runs are
-# cheap enough for CI.  The full run takes the whole tier-1 label.
-smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint)'
+# The smoke subset: concurrency primitives, the fault model, the probe
+# layer and the observability layer (sharded counters, per-thread trace
+# buffers) — the code where a sanitizer finding is most likely and the runs
+# are cheap enough for CI.  The full run takes the whole tier-1 label.
+smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace)'
 
 status=0
 for san in "${sanitizers[@]}"; do
@@ -47,7 +48,7 @@ for san in "${sanitizers[@]}"; do
   echo "=== [$san sanitizer] configure + build ($dir) ==="
   cmake -B "$dir" -S . -DSBM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   if [ "$smoke" -eq 1 ]; then
-    cmake --build "$dir" -j --target test_runtime test_faultsim
+    cmake --build "$dir" -j --target test_runtime test_faultsim test_obs
   else
     cmake --build "$dir" -j
   fi

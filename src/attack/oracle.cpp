@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace sbm::attack {
 
 using runtime::ProbeError;
 using runtime::ProbeOutcome;
+
+namespace {
+
+obs::Counter& physical_run_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("oracle.physical_runs");
+  return c;
+}
+
+}  // namespace
 
 ProbeOutcome DeviceOracle::run_one(std::span<const u8> bitstream, size_t words) const {
   fpga::Device device = system_.make_device();
@@ -17,6 +28,7 @@ ProbeOutcome DeviceOracle::run_one(std::span<const u8> bitstream, size_t words) 
 
 ProbeOutcome DeviceOracle::run(std::span<const u8> bitstream, size_t words) {
   ++runs_;
+  physical_run_counter().add();
   return run_one(bitstream, words);
 }
 
@@ -26,10 +38,13 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
   std::vector<ProbeOutcome> out(n);
   if (n == 0) return out;
 
+  static obs::Histogram& lanes_hist =
+      obs::MetricsRegistry::global().histogram("oracle.batch_lanes");
   const unsigned width = std::clamp(batch_width_, 1u, fpga::BatchDevice::kLanes);
   if (width == 1 || system_.snapshot == nullptr) {
     // Pure scalar reference path (also the fallback when the system carries
     // no snapshot, e.g. hand-built test fixtures).
+    obs::Span span("oracle", "batch_scalar", "probes", n);
     for (size_t i = 0; i < n; ++i) out[i] = run_one(bitstreams[i], words);
   } else {
     const size_t chunks = runtime::chunk_count(n, width);
@@ -38,6 +53,8 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
         [&](size_t c) {
           const size_t begin = c * width;
           const unsigned lanes = static_cast<unsigned>(std::min<size_t>(width, n - begin));
+          obs::Span span("oracle", "batch_chunk", "lanes", lanes, "begin", begin);
+          lanes_hist.observe(lanes);
           if (lanes == 1) {
             out[begin] = run_one(bitstreams[begin], words);
             return;
@@ -56,6 +73,7 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
   // Each lane was one paper-cost reconfiguration; account on the calling
   // thread after the barrier so runs_ never races.
   runs_ += n;
+  physical_run_counter().add(n);
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include "attack/scan.h"
 #include "bitstream/parser.h"
 #include "bitstream/patcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/probe_cache.h"
 #include "snow3g/snow3g.h"
 
@@ -57,6 +59,8 @@ std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>>
   if (policy.single_shot()) return raw;  // noise-free fast path, zero overhead
 
   const size_t n = batch.size();
+  static obs::Counter& retry_rounds =
+      obs::MetricsRegistry::global().counter("retry.rounds");
   std::vector<ProbeOutcome> out(n);
   struct Vote {
     unsigned errors = 0;   // consecutive error attempts (reset on any value)
@@ -116,6 +120,10 @@ std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>>
       if (!votes[i].settled) live.push_back(i);
     }
     if (live.empty()) break;
+    retry_rounds.add();
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().instant("retry", "confirm_round", {{"unsettled", live.size()}});
+    }
     std::vector<std::vector<u8>> round;
     round.reserve(live.size());
     for (const size_t i : live) {
@@ -174,6 +182,9 @@ ProbeOutcome Attack::probe(const std::vector<u8>& bytes) {
 }
 
 std::vector<ProbeOutcome> Attack::probe_batch(std::span<const std::vector<u8>> batch) {
+  static obs::Histogram& batch_size =
+      obs::MetricsRegistry::global().histogram("attack.probe_batch_size");
+  batch_size.observe(batch.size());
   probe_calls_ += batch.size();
   if (config_.cache == nullptr) {
     paper_runs_ += batch.size();
@@ -267,30 +278,34 @@ AttackResult Attack::execute() {
   active_ = &result;
   initial_oracle_runs_ = oracle_.runs();
   phase_ = "setup";
+  obs::Span exec_span("attack", "execute");
 
   // Step 0: baseline keystream and CRC neutralization.
   bool ok = true;
-  const auto z0 = probe(golden_);
-  if (lost(result)) {
-    ok = false;
-  } else if (!z0) {
-    result.failure = "golden bitstream rejected by device";
-    ok = false;
-  } else {
-    z_golden_ = *z0;
-    base_ = golden_;
-    if (config_.crc == CrcHandling::kDisable) {
-      const size_t disabled = bitstream::disable_crc(base_);
-      note("disabled " + std::to_string(disabled) + " CRC check(s)");
-      const auto z1 = probe(base_);
-      if (lost(result)) {
-        ok = false;
-      } else if (!z1 || *z1 != z_golden_) {
-        result.failure = "CRC-disabled bitstream does not behave like the original";
-        ok = false;
-      }
+  {
+    obs::Span span("attack", "setup");
+    const auto z0 = probe(golden_);
+    if (lost(result)) {
+      ok = false;
+    } else if (!z0) {
+      result.failure = "golden bitstream rejected by device";
+      ok = false;
     } else {
-      note("CRC handling: recompute-and-replace on every probe");
+      z_golden_ = *z0;
+      base_ = golden_;
+      if (config_.crc == CrcHandling::kDisable) {
+        const size_t disabled = bitstream::disable_crc(base_);
+        note("disabled " + std::to_string(disabled) + " CRC check(s)");
+        const auto z1 = probe(base_);
+        if (lost(result)) {
+          ok = false;
+        } else if (!z1 || *z1 != z_golden_) {
+          result.failure = "CRC-disabled bitstream does not behave like the original";
+          ok = false;
+        }
+      } else {
+        note("CRC handling: recompute-and-replace on every probe");
+      }
     }
   }
 
@@ -308,7 +323,11 @@ AttackResult Attack::execute() {
                                           {"extract", &Attack::phase_extract}};
     for (const PhaseFn& ph : kPhases) {
       phase_ = ph.name;
-      ok = (this->*ph.fn)(result);
+      {
+        obs::Span span("attack", ph.name);
+        ok = (this->*ph.fn)(result);
+        span.arg("oracle_runs", paper_runs_ - mark);
+      }
       result.phase_runs.emplace_back(ph.name, paper_runs_ - mark);
       mark = paper_runs_;
       if (!ok) break;
@@ -326,6 +345,32 @@ AttackResult Attack::execute() {
   result.transient_rejections = stats_.transient_rejections;
   result.checkpoint = make_checkpoint(result);
   active_ = nullptr;
+
+  // Mirror the per-run record into the process-wide registry (DESIGN.md
+  // §4g).  One bulk add per metric at the end of the run: the registry is
+  // the cross-cutting view, AttackResult stays the deterministic record.
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& c_executions = registry.counter("attack.executions");
+  static obs::Counter& c_successes = registry.counter("attack.successes");
+  static obs::Counter& c_partials = registry.counter("attack.partial_results");
+  static obs::Counter& c_oracle = registry.counter("attack.oracle_runs");
+  static obs::Counter& c_hits = registry.counter("attack.cache_hits");
+  static obs::Counter& c_calls = registry.counter("attack.probe_calls");
+  static obs::Counter& c_retries = registry.counter("attack.retry_runs");
+  static obs::Counter& c_votes = registry.counter("attack.vote_runs");
+  static obs::Counter& c_corrupt = registry.counter("attack.corruption_detections");
+  static obs::Counter& c_transient = registry.counter("attack.transient_rejections");
+  c_executions.add();
+  if (result.success) c_successes.add();
+  if (result.partial) c_partials.add();
+  c_oracle.add(result.oracle_runs);
+  c_hits.add(result.cache_hits);
+  c_calls.add(result.probe_calls);
+  c_retries.add(result.retry_runs);
+  c_votes.add(result.vote_runs);
+  c_corrupt.add(result.corruption_detections);
+  c_transient.add(result.transient_rejections);
+  exec_span.arg("oracle_runs", result.oracle_runs);
   return result;
 }
 

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "bitstream/lut_coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace sbm::attack {
@@ -104,7 +106,13 @@ std::vector<std::vector<LutMatch>> scan_all(std::span<const u8> bitstream,
   if (bitstream.size() < (kSubVectors - 1) * d + kChunkBytes) return out;
   const size_t positions = bitstream.size() - (kSubVectors - 1) * d - kChunkBytes + 1;
 
+  obs::Span span("scan", "scan_all", "candidates", index.candidates(), "positions", positions);
+  static obs::Counter& scanned =
+      obs::MetricsRegistry::global().counter("scan.positions_scanned");
+  scanned.add(positions);
+
   const size_t shards = runtime::shard_count(options.pool, positions, options.shard_grain);
+  span.arg("shards", shards);
   if (shards <= 1) {
     index.scan_range(bitstream, d, 0, positions, out);
     return out;
@@ -114,9 +122,11 @@ std::vector<std::vector<LutMatch>> scan_all(std::span<const u8> bitstream,
   auto per_shard = runtime::parallel_map(
       options.pool, shards,
       [&](size_t s) {
+        const size_t begin = positions * s / shards;
+        const size_t end = positions * (s + 1) / shards;
+        obs::Span shard_span("scan", "scan_shard", "begin", begin, "end", end);
         std::vector<std::vector<LutMatch>> part(index.candidates());
-        index.scan_range(bitstream, d, positions * s / shards, positions * (s + 1) / shards,
-                         part);
+        index.scan_range(bitstream, d, begin, end, part);
         return part;
       },
       /*min_grain=*/1);
@@ -160,14 +170,26 @@ std::shared_ptr<const PatternIndex> shared_pattern_index(std::span<const TruthTa
   for (const TruthTable6& f : functions) key.functions.push_back(f.bits());
   key.offset_d = options.offset_d;
   key.try_all_orders = options.try_all_orders;
+  static obs::Counter& index_hits =
+      obs::MetricsRegistry::global().counter("scan.index_cache_hits");
+  static obs::Counter& index_misses =
+      obs::MetricsRegistry::global().counter("scan.index_cache_misses");
   {
     std::lock_guard<std::mutex> lock(cache_mutex());
     const auto it = cache().find(key);
-    if (it != cache().end()) return it->second;
+    if (it != cache().end()) {
+      index_hits.add();
+      return it->second;
+    }
   }
+  index_misses.add();
   // Compile outside the lock so concurrent misses on different keys don't
   // serialize; a losing racer on the same key adopts the stored index.
-  auto built = std::make_shared<const PatternIndex>(functions, options.try_all_orders);
+  std::shared_ptr<const PatternIndex> built;
+  {
+    obs::Span span("scan", "compile_index", "functions", functions.size());
+    built = std::make_shared<const PatternIndex>(functions, options.try_all_orders);
+  }
   std::lock_guard<std::mutex> lock(cache_mutex());
   return cache().try_emplace(std::move(key), std::move(built)).first->second;
 }

@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "faultsim/faulty_oracle.h"
 #include "fpga/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "runtime/probe_cache.h"
 #include "runtime/thread_pool.h"
@@ -35,6 +37,7 @@ bool is_protected_trial(const CampaignOptions& options, size_t index) {
 
 TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::ThreadPool* pool) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Span span("campaign", "trial", "index", index);
   TrialOutcome out;
   out.index = index;
   out.trial_seed = mix64(options.seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
@@ -90,11 +93,16 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   out.transient_rejections = res.transient_rejections;
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  span.arg("oracle_runs", out.oracle_runs);
+  span.arg("expected", out.expected ? 1 : 0);
+  static obs::Counter& trial_counter = obs::MetricsRegistry::global().counter("campaign.trials");
+  trial_counter.add();
   return out;
 }
 
 CampaignReport run_campaign(const CampaignOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Span span("campaign", "run_campaign", "trials", options.trials);
   CampaignReport report;
   report.options = options;
 
@@ -184,6 +192,10 @@ CampaignReport run_campaign(const CampaignOptions& options) {
   report.scan_index_cache_entries = attack::pattern_index_cache_size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (report.resumed_trials != 0) {
+    obs::MetricsRegistry::global().counter("campaign.trials_resumed").add(report.resumed_trials);
+  }
+  span.arg("resumed", report.resumed_trials);
   return report;
 }
 
@@ -258,6 +270,24 @@ std::string CampaignReport::to_json() const {
       .field("scan_index_cache_entries", scan_index_cache_entries)
       .field("wall_seconds", wall_seconds)
       .field("fingerprint", fingerprint());
+  w.key("phase_oracle_runs").begin_object();
+  for (const auto& [phase, runs] : phase_run_totals) w.field(phase, runs);
+  w.end_object();
+  w.end_object();
+
+  // Canonical metrics block (DESIGN.md §4g).  Same deterministic totals the
+  // aggregate carries under its historical total_* names — those stay as
+  // aliases so existing consumers keep working.
+  w.key("metrics").begin_object();
+  w.field("oracle_runs", total_oracle_runs)
+      .field("cache_hits", total_cache_hits)
+      .field("probe_calls", total_probe_calls)
+      .field("physical_runs", total_physical_runs)
+      .field("retry_runs", total_retry_runs)
+      .field("vote_runs", total_vote_runs)
+      .field("corruption_detections", total_corruption_detections)
+      .field("resumed_trials", resumed_trials)
+      .field("scan_index_cache_entries", scan_index_cache_entries);
   w.key("phase_oracle_runs").begin_object();
   for (const auto& [phase, runs] : phase_run_totals) w.field(phase, runs);
   w.end_object();

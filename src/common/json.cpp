@@ -16,27 +16,35 @@ void JsonWriter::comma() {
   need_comma_ = true;
 }
 
-void JsonWriter::append_escaped(const std::string& s) {
-  out_ += '"';
+namespace {
+
+/// Shared string escaping: JsonWriter and JsonValue::dump must agree so a
+/// parse -> dump round trip re-escapes strings canonically.
+void append_escaped_to(std::string& out, const std::string& s) {
+  out += '"';
   for (const char c : s) {
     switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\r': out_ += "\\r"; break;
-      case '\t': out_ += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out_ += buf;
+          out += buf;
         } else {
-          out_ += c;
+          out += c;
         }
     }
   }
-  out_ += '"';
+  out += '"';
 }
+
+}  // namespace
+
+void JsonWriter::append_escaped(const std::string& s) { append_escaped_to(out_, s); }
 
 JsonWriter& JsonWriter::begin_object() {
   comma();
@@ -131,6 +139,53 @@ double JsonValue::as_double(double fallback) const {
 
 bool JsonValue::as_bool(bool fallback) const {
   return kind == Kind::kBool ? boolean : fallback;
+}
+
+namespace {
+
+void dump_to(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += v.number;  // raw source token, bit-exact for 64-bit integers
+      return;
+    case JsonValue::Kind::kString:
+      append_escaped_to(out, v.string);
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        if (i != 0) out += ',';
+        dump_to(v.items[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      for (size_t i = 0; i < v.members.size(); ++i) {
+        if (i != 0) out += ',';
+        append_escaped_to(out, v.members[i].first);
+        out += ':';
+        dump_to(v.members[i].second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
 }
 
 namespace {

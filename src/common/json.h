@@ -83,6 +83,12 @@ struct JsonValue {
   double as_double(double fallback = 0) const;
   bool as_bool(bool fallback = false) const;
   const std::string& as_string() const { return string; }
+
+  /// Compact serialization.  Number tokens are re-emitted verbatim (never
+  /// re-parsed through a double), strings are re-escaped canonically, so
+  /// parse -> dump reaches a fixpoint after one round trip:
+  /// dump(parse(dump(parse(x)))) == dump(parse(x)) for every valid x.
+  std::string dump() const;
 };
 
 /// Parses one JSON document (trailing whitespace allowed, nothing else).

@@ -1,6 +1,8 @@
 #include "faultsim/faulty_oracle.h"
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sbm::faultsim {
 
@@ -8,6 +10,11 @@ using runtime::ProbeError;
 using runtime::ProbeOutcome;
 
 namespace {
+
+obs::Counter& injected_fault_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("faultsim.injected_faults");
+  return c;
+}
 
 constexpr u64 mix64(u64 z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -50,23 +57,31 @@ ProbeOutcome FaultyOracle::apply(size_t index, FaultAction action, ProbeOutcome 
       dead_ = true;
       died_at_ = index;
       ++injected_timeouts_;
+      injected_fault_counter().add();
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("faultsim", "device_death", {{"run", index}});
+      }
       return ProbeError::kTimeout;
     case FaultAction::Kind::kReject:
       ++injected_rejections_;
+      injected_fault_counter().add();
       return ProbeError::kRejected;
     case FaultAction::Kind::kTimeout:
       ++injected_timeouts_;
+      injected_fault_counter().add();
       return ProbeError::kTimeout;
     case FaultAction::Kind::kTruncate:
       // The capture layer length-checks every read, so a short read is
       // observable as detectable corruption rather than a bogus value.
       ++injected_truncations_;
+      injected_fault_counter().add();
       return ProbeError::kCorrupt;
     case FaultAction::Kind::kFlipBit:
       if (inner.ok() && action.word < inner->size()) {
         std::vector<u32> z = *inner;
         z[action.word] ^= u32{1} << (action.bit & 31);
         ++injected_flips_;
+        injected_fault_counter().add();
         return z;
       }
       return inner;
@@ -83,6 +98,7 @@ ProbeOutcome FaultyOracle::apply(size_t index, FaultAction action, ProbeOutcome 
         if (chance(rng, profile_.bit_flip)) {
           z[w] ^= u32{1} << b;
           ++injected_flips_;
+          injected_fault_counter().add();
           flipped = true;
         }
       }

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include "common/json.h"
+
+namespace sbm::obs {
+
+namespace detail {
+
+size_t slot_index() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+  return slot;
+}
+
+}  // namespace detail
+
+u64 Histogram::count() const {
+  u64 total = 0;
+  for (const Slot& s : slots_) {
+    for (const auto& b : s.buckets) total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+u64 Histogram::sum() const {
+  u64 total = 0;
+  for (const Slot& s : slots_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+u64 Histogram::bucket(size_t i) const {
+  u64 total = 0;
+  for (const Slot& s : slots_) total += s.buckets[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (Slot& s : slots_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.field(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const Hist& h : histograms) {
+    w.key(h.name).begin_object();
+    w.field("count", h.count).field("sum", h.sum);
+    w.key("buckets").begin_object();
+    for (const auto& [width, count] : h.buckets) {
+      // Bucket label: the half-open value range [2^(w-1), 2^w) it covers.
+      w.field(width == 0 ? std::string("0") : "<2^" + std::to_string(width), count);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.name = name;
+    out.count = h->count();
+    out.sum = h->sum();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const u64 n = h->bucket(i);
+      if (n != 0) out.buckets.emplace_back(static_cast<unsigned>(i), n);
+    }
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace sbm::obs

@@ -1,0 +1,164 @@
+// Lock-light metrics: named counters, gauges and power-of-two histograms
+// with per-thread sharded accumulation and a consistent-enough snapshot API.
+//
+// Write path (Counter::add, Histogram::observe): one relaxed atomic load of
+// the mode, then one relaxed fetch_add on a cache-line-padded slot picked by
+// a thread-stable shard index — threads in different shards never touch the
+// same line, so a 64-way campaign does not serialize on its counters.  No
+// mutex is ever taken on the write path; registration (name -> metric) locks
+// once per call site, which call sites amortize with a function-local static
+// reference (metric addresses are stable for the registry's lifetime).
+//
+// Read path (value, snapshot): sums the slots with relaxed loads.  Values
+// are monotone and exact once writers quiesce; mid-flight snapshots may miss
+// in-progress increments, which is fine for reporting.
+//
+// Relationship to the attack's own accounting: AttackResult/CampaignReport
+// fields are the *deterministic* logical record (part of the fingerprint
+// contract); the registry is the cross-cutting observability view, gated on
+// obs::mode() and never read back by attack logic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "obs/obs.h"
+
+namespace sbm::obs {
+
+namespace detail {
+
+constexpr size_t kSlots = 16;
+
+/// Thread-stable shard index in [0, kSlots): consecutive registration order,
+/// wrapped.  Two threads may share a slot (the atomics keep that correct);
+/// the padding only has to make *typical* pools contention-free.
+size_t slot_index();
+
+struct alignas(64) PaddedU64 {
+  std::atomic<u64> v{0};
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(u64 n = 1) {
+    if (!metrics_enabled()) return;
+    slots_[detail::slot_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  u64 value() const {
+    u64 total = 0;
+    for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kSlots> slots_{};
+};
+
+/// Last-value metric for low-frequency state (queue depths, cache sizes).
+class Gauge {
+ public:
+  void set(u64 v) {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Power-of-two histogram: bucket i counts values v with bit_width(v) == i
+/// (bucket 0 is v == 0).  Coarse on purpose — it answers "how big are the
+/// oracle batches / probe windows" without per-value storage.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void observe(u64 v) {
+    if (!metrics_enabled()) return;
+    Slot& s = slots_[detail::slot_index()];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  u64 count() const;
+  u64 sum() const;
+  u64 bucket(size_t i) const;
+
+  void reset();
+
+  static size_t bucket_of(u64 v) {
+    size_t b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<u64>, kBuckets> buckets{};
+    std::atomic<u64> sum{0};
+  };
+  std::array<Slot, detail::kSlots> slots_{};
+};
+
+/// Point-in-time copy of every registered metric, name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, u64>> gauges;
+  struct Hist {
+    std::string name;
+    u64 count = 0;
+    u64 sum = 0;
+    /// Non-empty buckets only, as (bit_width, count) in ascending bit_width.
+    std::vector<std::pair<unsigned, u64>> buckets;
+  };
+  std::vector<Hist> histograms;
+
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Shared process-wide registry; every subsystem emits here.
+  static MetricsRegistry& global();
+
+  /// Named metric lookup, creating on first use.  The returned reference is
+  /// stable for the registry's lifetime — cache it at the call site.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value; names stay registered (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sbm::obs

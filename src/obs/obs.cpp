@@ -1,0 +1,35 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace sbm::obs {
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};
+
+int init_mode_from_env() {
+  const char* env = std::getenv("SBM_OBS");
+  const std::string_view v = env != nullptr ? env : "";
+  int m = static_cast<int>(Mode::kOff);
+  if (v == "1" || v == "on" || v == "all") {
+    m = static_cast<int>(Mode::kAll);
+  } else if (v == "metrics") {
+    m = static_cast<int>(Mode::kMetrics);
+  } else if (v == "trace") {
+    m = static_cast<int>(Mode::kTrace);
+  }
+  // A racing set_mode() wins: only replace the uninitialized sentinel.
+  int expected = -1;
+  g_mode.compare_exchange_strong(expected, m, std::memory_order_relaxed);
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_mode(Mode m) {
+  detail::g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+}  // namespace sbm::obs

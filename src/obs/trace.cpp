@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace sbm::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // leaked: emitters may outlive main
+  return *tracer;
+}
+
+u64 Tracer::now_us() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // One cached buffer per thread per tracer; re-registers when the thread
+  // switches tracers (tests with private instances).  The shared_ptr keeps a
+  // buffer alive in the tracer after its thread exits.
+  struct Cache {
+    Tracer* owner = nullptr;
+    std::shared_ptr<Buffer> buffer;
+  };
+  thread_local Cache cache;
+  if (cache.owner != this) {
+    auto buffer = std::make_shared<Buffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      buffers_.push_back(buffer);
+    }
+    cache.owner = this;
+    cache.buffer = std::move(buffer);
+  }
+  return *cache.buffer;
+}
+
+void Tracer::record(TraceEvent e) {
+  Buffer& buffer = local_buffer();
+  e.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(e);
+}
+
+void Tracer::instant(const char* cat, const char* name,
+                     std::initializer_list<std::pair<const char*, u64>> args) {
+  if (!trace_enabled()) return;
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = 'i';
+  e.ts_us = now_us();
+  for (const auto& [k, v] : args) {
+    if (e.num_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.num_args++] = {k, v};
+  }
+  record(e);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  // Chronological file order (ties broken by tid, longer spans first so a
+  // parent precedes a child that started the same microsecond).
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.dur_us > b.dur_us;
+  });
+  return out;
+}
+
+size_t Tracer::event_count() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_object();
+    w.field("name", e.name)
+        .field("cat", e.cat)
+        .field("ph", std::string(1, e.ph))
+        .field("ts", e.ts_us)
+        .field("pid", u64{1})
+        .field("tid", u64{e.tid});
+    if (e.ph == 'X') w.field("dur", e.dur_us);
+    if (e.ph == 'i') w.field("s", "t");  // thread-scoped instant
+    if (e.num_args != 0) {
+      w.key("args").begin_object();
+      for (u8 i = 0; i < e.num_args; ++i) w.field(e.args[i].first, e.args[i].second);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool Tracer::write(const std::string& path) const {
+  const std::string json = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && wrote;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace sbm::obs

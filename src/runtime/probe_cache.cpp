@@ -1,8 +1,23 @@
 #include "runtime/probe_cache.h"
 
+#include "obs/metrics.h"
+
 namespace sbm::runtime {
 
 namespace {
+
+// Process-wide counters across every cache instance (trials own private
+// caches; the registry view aggregates them).  Per-instance hits_/misses_
+// stay the deterministic per-attack record.
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("probe_cache.hits");
+  return c;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("probe_cache.misses");
+  return c;
+}
 
 constexpr u64 mix64(u64 z) {
   // SplitMix64 finalizer — full avalanche on 64 bits.
@@ -40,13 +55,17 @@ std::optional<ProbeResult> ProbeCache::lookup(const ProbeKey& key) {
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter().add();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_counter().add();
   return it->second;
 }
 
 void ProbeCache::store(const ProbeKey& key, ProbeResult result) {
+  static obs::Counter& stores = obs::MetricsRegistry::global().counter("probe_cache.stores");
+  stores.add();
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.map.try_emplace(key, std::move(result));

@@ -1,6 +1,27 @@
 #include "runtime/thread_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sbm::runtime {
+
+namespace {
+
+// Scheduling observability (DESIGN.md §4g): batch submissions carry the
+// instantaneous queue depth; every task claim is tagged steal (a worker
+// pulled it off the queue) or help (the submitting thread ran it while
+// waiting on its own batch).
+obs::Counter& steal_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("pool.steal_runs");
+  return c;
+}
+
+obs::Counter& help_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("pool.help_runs");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : concurrency_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())) {
@@ -41,12 +62,21 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();  // fully claimed; stragglers finish in their claimers
       continue;
     }
+    steal_counter().add();
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().instant("pool", "steal", {{"task", batch->next}});
+    }
     run_one(*batch, batch->next++, lock);
   }
 }
 
 void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  static obs::Counter& batches = obs::MetricsRegistry::global().counter("pool.batches");
+  static obs::Histogram& batch_tasks =
+      obs::MetricsRegistry::global().histogram("pool.batch_tasks");
+  batches.add();
+  batch_tasks.observe(tasks.size());
   const auto batch = std::make_shared<Batch>(std::move(tasks));
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -54,9 +84,19 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
     queue_.push_back(batch);
     work_available_.notify_all();
   }
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().instant(
+        "pool", "submit", {{"tasks", batch->tasks.size()}, {"queue_depth", queue_.size()}});
+  }
   // The submitting thread claims tasks too; with concurrency 1 (or no idle
   // worker) it simply runs the whole batch serially, in index order.
-  while (batch->next < batch->tasks.size()) run_one(*batch, batch->next++, lock);
+  while (batch->next < batch->tasks.size()) {
+    help_counter().add();
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().instant("pool", "help", {{"task", batch->next}});
+    }
+    run_one(*batch, batch->next++, lock);
+  }
   batch->completed.wait(lock, [&] { return batch->done == batch->tasks.size(); });
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (*it == batch) {

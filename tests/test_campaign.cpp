@@ -10,6 +10,7 @@
 #include "attack/pipeline.h"
 #include "attack/scan.h"
 #include "campaign/campaign.h"
+#include "common/json.h"
 #include "campaign/checkpoint.h"
 #include "fpga/system.h"
 #include "runtime/probe_cache.h"
@@ -155,6 +156,44 @@ TEST(Campaign, ProtectedScheduleAndExpectations) {
   EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
   EXPECT_NE(json.find("\"trials\":["), std::string::npos);
   EXPECT_NE(json.find("\"protected\":true"), std::string::npos);
+}
+
+TEST(Campaign, ReportCarriesACanonicalMetricsBlock) {
+  // The JSON report's `metrics` object is the machine-readable entry point
+  // for dashboards; the historical aggregate total_* fields stay as aliases
+  // and the two views must agree field for field.
+  campaign::CampaignOptions opt;
+  opt.trials = 2;
+  opt.protected_every = 2;
+  opt.threads = 2;
+  opt.seed = 0xcafe;
+  const campaign::CampaignReport report = campaign::run_campaign(opt);
+
+  const auto doc = parse_json(report.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  EXPECT_EQ(metrics->find("oracle_runs")->as_u64(), report.total_oracle_runs);
+  EXPECT_EQ(metrics->find("cache_hits")->as_u64(), report.total_cache_hits);
+  EXPECT_EQ(metrics->find("probe_calls")->as_u64(), report.total_probe_calls);
+  EXPECT_EQ(metrics->find("physical_runs")->as_u64(), report.total_physical_runs);
+  EXPECT_EQ(metrics->find("retry_runs")->as_u64(), report.total_retry_runs);
+  EXPECT_EQ(metrics->find("vote_runs")->as_u64(), report.total_vote_runs);
+
+  const JsonValue* phases = metrics->find("phase_oracle_runs");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->members.size(), report.phase_run_totals.size());
+  for (const auto& [phase, runs] : report.phase_run_totals) {
+    const JsonValue* v = phases->find(phase);
+    ASSERT_NE(v, nullptr) << phase;
+    EXPECT_EQ(v->as_u64(), runs) << phase;
+  }
+
+  // The aggregate aliases are still present for existing consumers.
+  const JsonValue* aggregate = doc->find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->find("total_oracle_runs")->as_u64(), report.total_oracle_runs);
 }
 
 TEST(Campaign, FingerprintIsThreadCountInvariant) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "attack/pipeline.h"
+#include "common/rng.h"
 #include "faultsim/faulty_oracle.h"
 #include "faultsim/noise.h"
 #include "fpga/system.h"
@@ -303,6 +304,89 @@ TEST(NoisyAttack, DeathInEachPhaseYieldsPartialResultWithCheckpoint) {
     // did spend are a prefix of the clean run's.
     EXPECT_LE(res.oracle_runs, clean.oracle_runs);
     EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+  }
+}
+
+// Property-based accounting check: for *any* survivable noise profile and
+// voting policy, (a) the run-count ledger balances exactly —
+// physical_runs == oracle_runs + retry_runs + vote_runs == what the oracle
+// itself counted — and (b) the paper metric (oracle_runs, phase split,
+// faulty keystream) is bit-identical to the noiseless reference.  The
+// profiles are drawn from a seeded RNG so failures replay deterministically.
+TEST(NoisyAttack, PropertyRandomProfilesBalanceTheRunLedger) {
+  const attack::AttackResult& clean = clean_reference();
+  ASSERT_TRUE(clean.success) << clean.failure;
+  const fpga::System& sys = shared_system();
+
+  Rng rng(0xacc0u);
+  auto uniform = [&rng](double hi) {
+    return hi * static_cast<double>(rng.next_u32() % 10000) / 10000.0;
+  };
+  for (int trial = 0; trial < 4; ++trial) {
+    NoiseProfile noise;
+    noise.transient_reject = uniform(0.04);
+    noise.bit_flip = uniform(2e-3);
+    noise.truncate = uniform(0.01);
+    noise.timeout = uniform(0.01);
+    noise.death = 0;  // survivable by construction; death is covered below
+    noise.seed = rng.next_u64();
+    // voting(3) or voting(4): policies whose read budget confirms every
+    // probe with overwhelming probability at these noise rates, so the
+    // success branch of the property is deterministic in practice.
+    const unsigned votes = 3 + rng.next_u32() % 2;
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": reject=" << noise.transient_reject
+                 << " flip=" << noise.bit_flip << " truncate=" << noise.truncate
+                 << " timeout=" << noise.timeout << " seed=" << noise.seed
+                 << " votes=" << votes);
+
+    attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+    FaultyOracle oracle(device, noise);
+    runtime::ProbeCache cache;
+    attack::PipelineConfig cfg = cached_config(&cache);
+    cfg.retry = runtime::RetryPolicy::voting(votes);
+    attack::Attack attack(oracle, sys.golden.bytes, cfg);
+    const attack::AttackResult res = attack.execute();
+
+    // (a) The ledger balances against the oracle's own count.
+    EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+    EXPECT_EQ(res.physical_runs, oracle.runs());
+
+    // (b) Noise never moves the paper metric.
+    ASSERT_TRUE(res.success) << res.failure;
+    EXPECT_EQ(res.secrets.key, sys.options.key);
+    EXPECT_EQ(res.oracle_runs, clean.oracle_runs);
+    EXPECT_EQ(res.cache_hits, clean.cache_hits);
+    EXPECT_EQ(res.probe_calls, clean.probe_calls);
+    EXPECT_EQ(res.phase_runs, clean.phase_runs);
+    EXPECT_EQ(res.faulty_keystream, clean.faulty_keystream);
+  }
+
+  // Death case: success is not guaranteed, the ledger invariant still is.
+  for (int trial = 0; trial < 2; ++trial) {
+    NoiseProfile noise = NoiseProfile::mild();
+    noise.death = 2e-4;
+    noise.seed = rng.next_u64();
+    SCOPED_TRACE(::testing::Message() << "death trial " << trial << " seed=" << noise.seed);
+
+    attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+    FaultyOracle oracle(device, noise);
+    runtime::ProbeCache cache;
+    attack::PipelineConfig cfg = cached_config(&cache);
+    cfg.retry = runtime::RetryPolicy::voting(3);
+    attack::Attack attack(oracle, sys.golden.bytes, cfg);
+    const attack::AttackResult res = attack.execute();
+
+    EXPECT_EQ(res.physical_runs, res.oracle_runs + res.retry_runs + res.vote_runs);
+    EXPECT_EQ(res.physical_runs, oracle.runs());
+    if (res.success) {
+      EXPECT_EQ(res.oracle_runs, clean.oracle_runs);
+      EXPECT_EQ(res.faulty_keystream, clean.faulty_keystream);
+    } else {
+      EXPECT_TRUE(res.partial);
+      // An aborted run spent a prefix of the clean run's logical probes.
+      EXPECT_LE(res.oracle_runs, clean.oracle_runs);
+    }
   }
 }
 

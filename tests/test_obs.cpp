@@ -1,0 +1,249 @@
+// Observability-layer tests (DESIGN.md §4g): the mode switch gates every
+// write path, counters sum exactly under a concurrent pool, snapshots and
+// traces serialize to parseable JSON, and — the load-bearing property — a
+// full attack produces bit-identical results with the layer on or off while
+// the registry/tracer mirror the attack's own accounting.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attack/pipeline.h"
+#include "common/json.h"
+#include "fpga/system.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "runtime/probe_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace sbm {
+namespace {
+
+/// Saves and restores the process-wide obs mode around a test body.
+class ModeGuard {
+ public:
+  ModeGuard() : saved_(obs::mode()) {}
+  ~ModeGuard() { obs::set_mode(saved_); }
+
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+ private:
+  obs::Mode saved_;
+};
+
+TEST(ObsMode, BitsGateMetricsAndTracingIndependently) {
+  ModeGuard guard;
+
+  obs::set_mode(obs::Mode::kOff);
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_FALSE(obs::trace_enabled());
+
+  obs::set_mode(obs::Mode::kMetrics);
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_FALSE(obs::trace_enabled());
+
+  obs::set_mode(obs::Mode::kTrace);
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_TRUE(obs::trace_enabled());
+
+  obs::set_mode(obs::Mode::kAll);
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_TRUE(obs::trace_enabled());
+}
+
+TEST(Metrics, DisabledWritesAreDropped) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kOff);
+
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Counter& c = reg.counter("test_obs.off_counter");
+  obs::Gauge& g = reg.gauge("test_obs.off_gauge");
+  obs::Histogram& h = reg.histogram("test_obs.off_hist");
+  c.reset();
+  g.reset();
+  h.reset();
+
+  c.add(7);
+  g.set(42);
+  h.observe(1000);
+
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Metrics, ConcurrentCounterAddsSumExactly) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kMetrics);
+
+  obs::Counter& c = obs::MetricsRegistry::global().counter("test_obs.concurrent");
+  c.reset();
+
+  constexpr size_t kTasks = 32;
+  constexpr u64 kAddsPerTask = 10000;
+  runtime::ThreadPool pool(8);
+  std::vector<std::function<void()>> tasks;
+  for (size_t t = 0; t < kTasks; ++t) {
+    tasks.emplace_back([&c] {
+      for (u64 i = 0; i < kAddsPerTask; ++i) c.add(1);
+    });
+  }
+  pool.run_batch(std::move(tasks));
+
+  EXPECT_EQ(c.value(), kTasks * kAddsPerTask);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kMetrics);
+
+  obs::Histogram& h = obs::MetricsRegistry::global().histogram("test_obs.hist");
+  h.reset();
+  for (const u64 v : {u64{0}, u64{1}, u64{2}, u64{3}, u64{8}, u64{1023}}) h.observe(v);
+
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 8 + 1023);
+  EXPECT_EQ(h.bucket(0), 1u);   // 0
+  EXPECT_EQ(h.bucket(1), 1u);   // 1
+  EXPECT_EQ(h.bucket(2), 2u);   // 2, 3
+  EXPECT_EQ(h.bucket(4), 1u);   // 8
+  EXPECT_EQ(h.bucket(10), 1u);  // 1023
+}
+
+TEST(Metrics, SnapshotSerializesToParseableJson) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kMetrics);
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("test_obs.snap_counter").reset();
+  reg.counter("test_obs.snap_counter").add(11);
+  reg.gauge("test_obs.snap_gauge").set(5);
+  reg.histogram("test_obs.snap_hist").observe(16);
+
+  const std::string json = reg.snapshot().to_json();
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_TRUE(doc->is_object());
+
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* snap = counters->find("test_obs.snap_counter");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->as_u64(), 11u);
+
+  const JsonValue* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("test_obs.snap_gauge")->as_u64(), 5u);
+}
+
+TEST(Trace, SpansAndInstantsRecordAndSerialize) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kTrace);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  {
+    obs::Span outer("test", "outer", "k0", 1);
+    obs::Span inner("test", "inner");
+    inner.arg("k1", 2);
+  }
+  tracer.instant("test", "tick", {{"n", 3}});
+
+  EXPECT_EQ(tracer.event_count(), 3u);
+
+  const std::string json = tracer.to_chrome_json();
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 3u);
+
+  std::set<std::string> names;
+  for (const JsonValue& e : events->items) {
+    ASSERT_TRUE(e.is_object());
+    names.insert(e.find("name")->as_string());
+    EXPECT_NE(e.find("ph"), nullptr);
+    EXPECT_NE(e.find("ts"), nullptr);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"outer", "inner", "tick"}));
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  ModeGuard guard;
+  obs::set_mode(obs::Mode::kOff);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  {
+    obs::Span span("test", "ghost", "k", 1);
+    span.arg("k2", 2);
+  }
+  tracer.instant("test", "ghost_instant");
+
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Obs, FullAttackIsIdenticalWithObservabilityOn) {
+  ModeGuard guard;
+  const fpga::System sys = fpga::build_system();
+  constexpr snow3g::Iv kIv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+
+  auto run_attack = [&] {
+    attack::DeviceOracle oracle(sys, kIv, nullptr, 64);
+    runtime::ProbeCache cache;
+    attack::PipelineConfig cfg;
+    cfg.iv = kIv;
+    cfg.cache = &cache;
+    attack::Attack attack(oracle, sys.golden.bytes, cfg);
+    return attack.execute();
+  };
+
+  obs::set_mode(obs::Mode::kOff);
+  const attack::AttackResult off = run_attack();
+  ASSERT_TRUE(off.success);
+
+  obs::set_mode(obs::Mode::kAll);
+  obs::MetricsRegistry::global().reset();
+  obs::Tracer::global().clear();
+  const attack::AttackResult on = run_attack();
+  obs::set_mode(obs::Mode::kOff);
+
+  // The mode must never leak into the logical result.
+  ASSERT_TRUE(on.success);
+  EXPECT_EQ(on.oracle_runs, off.oracle_runs);
+  EXPECT_EQ(on.cache_hits, off.cache_hits);
+  EXPECT_EQ(on.probe_calls, off.probe_calls);
+  EXPECT_EQ(on.phase_runs, off.phase_runs);
+  EXPECT_EQ(on.faulty_keystream, off.faulty_keystream);
+  EXPECT_EQ(on.secrets.key, off.secrets.key);
+
+  // The registry mirrors the attack's own accounting exactly.
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter("attack.executions").value(), 1u);
+  EXPECT_EQ(reg.counter("attack.successes").value(), 1u);
+  EXPECT_EQ(reg.counter("attack.oracle_runs").value(), on.oracle_runs);
+  EXPECT_EQ(reg.counter("attack.cache_hits").value(), on.cache_hits);
+  EXPECT_EQ(reg.counter("attack.probe_calls").value(), on.probe_calls);
+
+  // The trace carries the execute span plus one span per pipeline phase.
+  std::set<std::string> span_names;
+  for (const obs::TraceEvent& e : obs::Tracer::global().events()) {
+    if (e.ph == 'X' && std::string(e.cat) == "attack") span_names.insert(e.name);
+  }
+  EXPECT_TRUE(span_names.count("execute")) << "missing attack execute span";
+  EXPECT_TRUE(span_names.count("setup")) << "missing attack setup span";
+  for (const auto& [phase, runs] : on.phase_runs) {
+    EXPECT_TRUE(span_names.count(phase)) << "missing span for phase " << phase;
+  }
+}
+
+}  // namespace
+}  // namespace sbm
