@@ -16,6 +16,13 @@ contents:
   engine/legacy match lists diverged (identical=false), or when a row's
   one-pass engine wall-clock regressed by more than the threshold against
   the baseline row with the same (candidates, kib).
+* BENCH_service.json ("bench": "service", written by
+  build/bench/bench_service): fails when the campaign daemon lost or
+  duplicated a job (always enforced), when sustained jobs/s fell below
+  1/threshold of the baseline, or when the e2e p99 / protocol round-trip
+  p99 latencies regressed past the threshold.  Wall-clock comparisons are
+  skipped when fresh and baseline were produced at different scales
+  (smoke vs full).
 
 Usage:
     scripts/check_bench_regression.py FRESH_JSON [BASELINE_JSON]
@@ -165,20 +172,82 @@ def check_findlut_scaling(fresh, baseline):
     return ok
 
 
+# Latency gates on a loaded single-core CI box need absolute slack on top
+# of the ratio: the sustained run's tail is scheduler-noise territory and
+# the round-trip floor is measured in tens of microseconds.
+SERVICE_E2E_SLACK_MS = 250.0
+SERVICE_RTT_SLACK_MS = 0.5
+
+
+def check_service(fresh, baseline):
+    ok = True
+    sustained = fresh.get("sustained", {})
+
+    # Correctness audit — enforced unconditionally: a lost or duplicated job
+    # is a daemon bug at any scale.
+    for key in ("lost", "duplicates"):
+        if sustained.get(key, 0) != 0:
+            print(f"FAIL: sustained.{key} = {sustained.get(key)} (must be 0)")
+            ok = False
+    if sustained.get("completed") != sustained.get("accepted"):
+        print(f"FAIL: completed {sustained.get('completed')} != accepted "
+              f"{sustained.get('accepted')}")
+        ok = False
+
+    if fresh.get("smoke") != baseline.get("smoke") or (
+            fresh.get("clients") != baseline.get("clients")):
+        print("note: fresh and baseline ran at different scales; "
+              "skipping throughput/latency comparison")
+        return ok
+
+    base_sustained = baseline.get("sustained", {})
+    base_jps = base_sustained.get("jobs_per_s")
+    new_jps = sustained.get("jobs_per_s")
+    if base_jps is not None and new_jps is not None:
+        floor = base_jps / THRESHOLD
+        status = "ok" if new_jps >= floor else "REGRESSED"
+        print(f"sustained jobs/s: {new_jps:.0f} vs baseline {base_jps:.0f} "
+              f"(floor {floor:.0f}) {status}")
+        if new_jps < floor:
+            ok = False
+
+    base_p99 = base_sustained.get("e2e_p99_ms")
+    new_p99 = sustained.get("e2e_p99_ms")
+    if base_p99 is not None and new_p99 is not None:
+        budget = base_p99 * THRESHOLD + SERVICE_E2E_SLACK_MS
+        status = "ok" if new_p99 <= budget else "REGRESSED"
+        print(f"e2e p99: {new_p99:.1f}ms vs baseline {base_p99:.1f}ms "
+              f"(budget {budget:.1f}ms) {status}")
+        if new_p99 > budget:
+            ok = False
+
+    base_rtt = baseline.get("roundtrip", {}).get("p99_ms")
+    new_rtt = fresh.get("roundtrip", {}).get("p99_ms")
+    if base_rtt is not None and new_rtt is not None:
+        budget = base_rtt * THRESHOLD + SERVICE_RTT_SLACK_MS
+        status = "ok" if new_rtt <= budget else "REGRESSED"
+        print(f"roundtrip p99: {new_rtt:.3f}ms vs baseline {base_rtt:.3f}ms "
+              f"(budget {budget:.3f}ms) {status}")
+        if new_rtt > budget:
+            ok = False
+    return ok
+
+
 def main(argv):
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         return 1
     fresh = load(argv[1])
-    is_findlut = fresh.get("bench") == "findlut_scaling"
-    default_baseline = REPO_ROOT / (
-        "BENCH_findlut_scaling.json" if is_findlut else "BENCH_attack_e2e.json"
-    )
-    baseline = load(argv[2] if len(argv) == 3 else default_baseline)
+    bench = fresh.get("bench")
+    if bench == "findlut_scaling":
+        default_name, check = "BENCH_findlut_scaling.json", check_findlut_scaling
+    elif bench == "service":
+        default_name, check = "BENCH_service.json", check_service
+    else:
+        default_name, check = "BENCH_attack_e2e.json", check_attack_e2e
+    baseline = load(argv[2] if len(argv) == 3 else REPO_ROOT / default_name)
 
-    ok = check_findlut_scaling(fresh, baseline) if is_findlut else check_attack_e2e(
-        fresh, baseline
-    )
+    ok = check(fresh, baseline)
     if not ok:
         return 1
     print("bench within budget")

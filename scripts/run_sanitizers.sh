@@ -37,10 +37,12 @@ if [ ${#sanitizers[@]} -eq 0 ]; then
 fi
 
 # The smoke subset: concurrency primitives, the fault model, the probe
-# layer and the observability layer (sharded counters, per-thread trace
-# buffers) — the code where a sanitizer finding is most likely and the runs
-# are cheap enough for CI.  The full run takes the whole tier-1 label.
-smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace)'
+# layer, the observability layer (sharded counters, per-thread trace
+# buffers) and the campaign service (worker threads + socket reactor +
+# fair scheduler — the most thread-shaped code in the repo) — where a
+# sanitizer finding is most likely and the runs are cheap enough for CI.
+# The full run takes the whole tier-1 label.
+smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace|Orchestrator|ServiceProtocol|FairScheduler|JobStore|ServiceSocket|ServiceRestart|ServiceMetricsParity)'
 
 status=0
 for san in "${sanitizers[@]}"; do
@@ -48,7 +50,8 @@ for san in "${sanitizers[@]}"; do
   echo "=== [$san sanitizer] configure + build ($dir) ==="
   cmake -B "$dir" -S . -DSBM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   if [ "$smoke" -eq 1 ]; then
-    cmake --build "$dir" -j --target test_runtime test_faultsim test_obs
+    cmake --build "$dir" -j --target test_runtime test_faultsim test_obs \
+      test_orchestrator test_service
   else
     cmake --build "$dir" -j
   fi

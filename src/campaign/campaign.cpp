@@ -1,20 +1,16 @@
 #include "campaign/campaign.h"
 
 #include <chrono>
-#include <cstdio>
-#include <mutex>
 
 #include "attack/pipeline.h"
-#include "attack/scan.h"
-#include "attack/scan_engine.h"
 #include "campaign/checkpoint.h"
+#include "campaign/orchestrator.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "faultsim/faulty_oracle.h"
 #include "fpga/system.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "runtime/parallel.h"
 #include "runtime/probe_cache.h"
 #include "runtime/thread_pool.h"
 
@@ -101,102 +97,54 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
 }
 
 CampaignReport run_campaign(const CampaignOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  obs::Span span("campaign", "run_campaign", "trials", options.trials);
-  CampaignReport report;
-  report.options = options;
+  // The full orchestration (resume, fan-out, checkpointing, aggregation)
+  // lives in Orchestrator::run; this entry point is the CLI-flavoured
+  // configuration of it — own pool, no cancellation, no hooks.
+  return Orchestrator().run(options);
+}
 
-  // Resume: trials the checkpoint file already covers are answered from it
-  // verbatim instead of being re-run.  The signature check rejects files
-  // from a different campaign (other seed, trial count, noise, ...).
-  std::vector<TrialOutcome> resumed(options.trials);
-  std::vector<char> have(options.trials, 0);
-  std::vector<TrialOutcome> saved;  // checkpoint contents, under save_mutex
-  if (options.resume && !options.checkpoint_path.empty()) {
-    if (auto cp = load_checkpoint(options.checkpoint_path, options)) {
-      for (TrialOutcome& t : cp->completed) {
-        if (t.index < options.trials && !have[t.index]) {
-          have[t.index] = 1;
-          resumed[t.index] = t;
-          saved.push_back(std::move(t));
-          ++report.resumed_trials;
-        }
-      }
-      if (options.verbose) {
-        std::printf("[campaign] resumed %zu/%zu trials from %s\n", report.resumed_trials,
-                    options.trials, options.checkpoint_path.c_str());
+void CampaignReport::accumulate(const TrialOutcome& t) {
+  if (t.protected_variant) {
+    ++protected_trials;
+    protected_resisted += t.expected ? 1 : 0;
+  } else {
+    ++unprotected_trials;
+    unprotected_successes += t.key_match ? 1 : 0;
+  }
+  total_oracle_runs += t.oracle_runs;
+  total_cache_hits += t.cache_hits;
+  total_probe_calls += t.probe_calls;
+  total_physical_runs += t.physical_runs;
+  total_retry_runs += t.retry_runs;
+  total_vote_runs += t.vote_runs;
+  total_corruption_detections += t.corruption_detections;
+  for (const auto& [phase, runs] : t.phase_runs) {
+    bool found = false;
+    for (auto& [name, total] : phase_run_totals) {
+      if (name == phase) {
+        total += runs;
+        found = true;
       }
     }
+    if (!found) phase_run_totals.emplace_back(phase, runs);
   }
+}
 
-  runtime::ThreadPool pool(options.threads);
-  report.threads_used = pool.concurrency();
-  runtime::ThreadPool* scan_pool = pool.concurrency() > 1 ? &pool : nullptr;
-
-  // Compile the shared pattern indexes of the standard scan families once,
-  // up front: trials fanning out below hit the cache instead of racing to
-  // build identical indexes on first use.
-  attack::warm_scan_indexes();
-
-  std::mutex save_mutex;
-  auto record = [&](const TrialOutcome& out) {
-    if (options.checkpoint_path.empty()) return;
-    const std::lock_guard<std::mutex> lock(save_mutex);
-    saved.push_back(out);
-    save_checkpoint(options.checkpoint_path, options, saved);
-  };
-
-  // Trial-level fan-out; parallel_map keeps the outcomes in trial order.
-  report.trials = runtime::parallel_map(
-      pool.concurrency() > 1 ? &pool : nullptr, options.trials,
-      [&](size_t i) {
-        if (have[i]) return resumed[i];
-        TrialOutcome out = run_trial(options, i, scan_pool);
-        record(out);
-        if (options.verbose) {
-          std::printf("[campaign] trial %zu/%zu: %s%s (%zu oracle runs, %zu cache hits, %.1fs)\n",
-                      i + 1, options.trials, out.protected_variant ? "protected, " : "",
-                      out.expected ? "as expected" : "UNEXPECTED", out.oracle_runs,
-                      out.cache_hits, out.wall_seconds);
-        }
-        return out;
-      },
-      /*min_grain=*/1);
-
-  for (const TrialOutcome& t : report.trials) {
-    if (t.protected_variant) {
-      ++report.protected_trials;
-      report.protected_resisted += t.expected ? 1 : 0;
-    } else {
-      ++report.unprotected_trials;
-      report.unprotected_successes += t.key_match ? 1 : 0;
-    }
-    report.total_oracle_runs += t.oracle_runs;
-    report.total_cache_hits += t.cache_hits;
-    report.total_probe_calls += t.probe_calls;
-    report.total_physical_runs += t.physical_runs;
-    report.total_retry_runs += t.retry_runs;
-    report.total_vote_runs += t.vote_runs;
-    report.total_corruption_detections += t.corruption_detections;
-    for (const auto& [phase, runs] : t.phase_runs) {
-      bool found = false;
-      for (auto& [name, total] : report.phase_run_totals) {
-        if (name == phase) {
-          total += runs;
-          found = true;
-        }
-      }
-      if (!found) report.phase_run_totals.emplace_back(phase, runs);
-    }
-  }
-  report.scan_index_cache_entries = attack::pattern_index_cache_size();
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  if (report.resumed_trials != 0) {
-    obs::MetricsRegistry::global().counter("campaign.trials_resumed").add(report.resumed_trials);
-  }
-  span.arg("resumed", report.resumed_trials);
-  return report;
+void CampaignReport::write_metrics(JsonWriter& w) const {
+  w.begin_object();
+  w.field("oracle_runs", total_oracle_runs)
+      .field("cache_hits", total_cache_hits)
+      .field("probe_calls", total_probe_calls)
+      .field("physical_runs", total_physical_runs)
+      .field("retry_runs", total_retry_runs)
+      .field("vote_runs", total_vote_runs)
+      .field("corruption_detections", total_corruption_detections)
+      .field("resumed_trials", resumed_trials)
+      .field("scan_index_cache_entries", scan_index_cache_entries);
+  w.key("phase_oracle_runs").begin_object();
+  for (const auto& [phase, runs] : phase_run_totals) w.field(phase, runs);
+  w.end_object();
+  w.end_object();
 }
 
 bool CampaignReport::all_expected() const {
@@ -233,24 +181,8 @@ u64 CampaignReport::fingerprint() const {
 std::string CampaignReport::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("options").begin_object();
-  w.field("trials", options.trials)
-      .field("threads", u64{options.threads})
-      .field("seed", options.seed)
-      .field("protected_every", options.protected_every)
-      .field("words", options.words)
-      .field("use_probe_cache", options.use_probe_cache)
-      .field("scan_parallel", options.scan_parallel)
-      .field("batch_width", u64{options.batch_width});
-  w.key("noise").begin_object();
-  w.field("transient_reject", options.noise.transient_reject)
-      .field("bit_flip", options.noise.bit_flip)
-      .field("truncate", options.noise.truncate)
-      .field("timeout", options.noise.timeout)
-      .field("death", options.noise.death)
-      .field("seed", options.noise.seed);
-  w.end_object();
-  w.end_object();
+  w.key("options");
+  write_options(w, options);
 
   w.key("aggregate").begin_object();
   w.field("threads_used", u64{threads_used})
@@ -278,20 +210,8 @@ std::string CampaignReport::to_json() const {
   // Canonical metrics block (DESIGN.md §4g).  Same deterministic totals the
   // aggregate carries under its historical total_* names — those stay as
   // aliases so existing consumers keep working.
-  w.key("metrics").begin_object();
-  w.field("oracle_runs", total_oracle_runs)
-      .field("cache_hits", total_cache_hits)
-      .field("probe_calls", total_probe_calls)
-      .field("physical_runs", total_physical_runs)
-      .field("retry_runs", total_retry_runs)
-      .field("vote_runs", total_vote_runs)
-      .field("corruption_detections", total_corruption_detections)
-      .field("resumed_trials", resumed_trials)
-      .field("scan_index_cache_entries", scan_index_cache_entries);
-  w.key("phase_oracle_runs").begin_object();
-  for (const auto& [phase, runs] : phase_run_totals) w.field(phase, runs);
-  w.end_object();
-  w.end_object();
+  w.key("metrics");
+  write_metrics(w);
 
   w.key("trials").begin_array();
   for (const TrialOutcome& t : trials) write_trial(w, t);

@@ -31,6 +31,10 @@
 #include "common/bits.h"
 #include "faultsim/noise.h"
 
+namespace sbm {
+class JsonWriter;
+}
+
 namespace sbm::runtime {
 class ThreadPool;
 }
@@ -120,6 +124,10 @@ struct CampaignReport {
   size_t total_corruption_detections = 0;
   /// Trials answered from the resume checkpoint instead of being re-run.
   size_t resumed_trials = 0;
+  /// Trials skipped because the run was cancelled (Orchestrator::Hooks).
+  /// Always 0 for run_campaign; not serialized — the report JSON schema is
+  /// unchanged and `trials` simply carries only the finished ones.
+  size_t cancelled_trials = 0;
   /// Per-phase oracle-run totals summed across trials, in pipeline order.
   std::vector<std::pair<std::string, size_t>> phase_run_totals;
   double wall_seconds = 0;
@@ -136,6 +144,16 @@ struct CampaignReport {
   /// across checkpoint/resume, by the determinism contract.
   u64 fingerprint() const;
   std::string to_json() const;
+
+  /// Folds one trial's logical totals into the aggregate fields (counts,
+  /// total_*, phase_run_totals).  Does not touch `trials` — the orchestrator
+  /// calls it per finished trial, and the campaign daemon reuses it to keep
+  /// a live per-job aggregate while a run is still in flight.
+  void accumulate(const TrialOutcome& t);
+  /// Writes the canonical metrics block (DESIGN.md §4g) as one JSON object —
+  /// the exact bytes of the "metrics" member of to_json.  The daemon's
+  /// status responses stream this same block per job.
+  void write_metrics(JsonWriter& w) const;
 };
 
 /// Runs one trial (exposed for tests).  `pool` may be null (serial scans).

@@ -1,8 +1,8 @@
 #include "campaign/checkpoint.h"
 
 #include <bit>
-#include <cstdio>
 
+#include "common/fsio.h"
 #include "common/json.h"
 
 namespace sbm::campaign {
@@ -15,19 +15,6 @@ constexpr u64 mix64(u64 z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
-}
-
-std::optional<std::string> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
-  std::string data;
-  char buf[4096];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!ok) return std::nullopt;
-  return data;
 }
 
 }  // namespace
@@ -115,6 +102,66 @@ std::optional<TrialOutcome> trial_from_json(const JsonValue& v) {
   return t;
 }
 
+void write_options(JsonWriter& w, const CampaignOptions& options) {
+  w.begin_object();
+  w.field("trials", options.trials)
+      .field("threads", u64{options.threads})
+      .field("seed", options.seed)
+      .field("protected_every", options.protected_every)
+      .field("words", options.words)
+      .field("use_probe_cache", options.use_probe_cache)
+      .field("scan_parallel", options.scan_parallel)
+      .field("batch_width", u64{options.batch_width});
+  w.key("noise").begin_object();
+  w.field("transient_reject", options.noise.transient_reject)
+      .field("bit_flip", options.noise.bit_flip)
+      .field("truncate", options.noise.truncate)
+      .field("timeout", options.noise.timeout)
+      .field("death", options.noise.death)
+      .field("seed", options.noise.seed);
+  w.end_object();
+  w.end_object();
+}
+
+std::optional<CampaignOptions> options_from_json(const JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  CampaignOptions o;
+  auto get_size = [&](const char* name, size_t& out) {
+    if (const JsonValue* f = v.find(name)) out = static_cast<size_t>(f->as_u64());
+  };
+  get_size("trials", o.trials);
+  if (const JsonValue* f = v.find("threads")) o.threads = static_cast<unsigned>(f->as_u64());
+  if (const JsonValue* f = v.find("seed")) o.seed = f->as_u64();
+  get_size("protected_every", o.protected_every);
+  get_size("words", o.words);
+  if (const JsonValue* f = v.find("use_probe_cache")) o.use_probe_cache = f->as_bool(true);
+  if (const JsonValue* f = v.find("scan_parallel")) o.scan_parallel = f->as_bool(true);
+  if (const JsonValue* f = v.find("batch_width")) {
+    o.batch_width = static_cast<unsigned>(f->as_u64(64));
+  }
+  if (const JsonValue* noise = v.find("noise")) {
+    if (noise->kind == JsonValue::Kind::kString) {
+      const auto profile = faultsim::NoiseProfile::named(noise->as_string());
+      if (!profile) return std::nullopt;
+      o.noise = *profile;
+    } else if (noise->is_object()) {
+      auto get_rate = [&](const char* name, double& out) {
+        if (const JsonValue* f = noise->find(name)) out = f->as_double();
+      };
+      o.noise = faultsim::NoiseProfile::none();
+      get_rate("transient_reject", o.noise.transient_reject);
+      get_rate("bit_flip", o.noise.bit_flip);
+      get_rate("truncate", o.noise.truncate);
+      get_rate("timeout", o.noise.timeout);
+      get_rate("death", o.noise.death);
+      if (const JsonValue* f = noise->find("seed")) o.noise.seed = f->as_u64(o.noise.seed);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
 std::string checkpoint_to_json(const CampaignOptions& options,
                                const std::vector<TrialOutcome>& completed) {
   JsonWriter w;
@@ -151,21 +198,10 @@ std::optional<CampaignCheckpoint> checkpoint_from_json(std::string_view json) {
 
 bool save_checkpoint(const std::string& path, const CampaignOptions& options,
                      const std::vector<TrialOutcome>& completed) {
-  const std::string json = checkpoint_to_json(options, completed);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // write_file_atomic is temp + flush + fsync + rename: a daemon killed
+  // mid-save leaves either the previous checkpoint or the new one, never a
+  // truncated file (tests/test_service.cpp injects exactly that crash).
+  return write_file_atomic(path, checkpoint_to_json(options, completed));
 }
 
 std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,

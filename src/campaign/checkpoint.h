@@ -30,6 +30,17 @@ void write_trial(JsonWriter& w, const TrialOutcome& t);
 /// Inverse of write_trial; nullopt when required fields are missing.
 std::optional<TrialOutcome> trial_from_json(const JsonValue& v);
 
+/// Serializes the outcome-relevant options as one JSON object — the exact
+/// bytes of the "options" block in CampaignReport::to_json.  The process-
+/// local fields (checkpoint_path, resume, verbose) are not part of it.
+void write_options(JsonWriter& w, const CampaignOptions& options);
+/// Inverse of write_options; absent fields keep their defaults, so a job
+/// submission may specify only the knobs it cares about.  "noise" may be
+/// either the object write_options emits or a profile name string
+/// ("none" | "mild" | "harsh", optional "@seed" suffix).  nullopt when `v`
+/// is not an object or the noise spec is unknown.
+std::optional<CampaignOptions> options_from_json(const JsonValue& v);
+
 struct CampaignCheckpoint {
   u64 signature = 0;
   std::vector<TrialOutcome> completed;

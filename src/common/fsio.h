@@ -1,0 +1,28 @@
+// Whole-file I/O with a crash-safe write path.
+//
+// write_file_atomic is the one write primitive durable artifacts (campaign
+// checkpoints, service job records) are allowed to use: the bytes go to
+// `path + ".tmp"`, are flushed and fsync'd, and only then renamed over the
+// destination.  A process killed at any instant therefore leaves either the
+// old complete file or the new complete file — never a truncated hybrid —
+// which is what lets the campaign daemon resume from its job store after a
+// hard kill (DESIGN.md §4h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sbm {
+
+/// Reads the whole file; nullopt when it is absent or unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Plain whole-file write (reports, traces — artifacts a crash may lose).
+bool write_file(const std::string& path, std::string_view data);
+
+/// Crash-safe whole-file write: temp + flush + fsync + rename.  On failure
+/// the temp file is removed and `path` is untouched.
+bool write_file_atomic(const std::string& path, std::string_view data);
+
+}  // namespace sbm

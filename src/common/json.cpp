@@ -93,6 +93,12 @@ JsonWriter& JsonWriter::value(const std::string& s) {
 
 JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(bool b) {
   comma();
   out_ += b ? "true" : "false";

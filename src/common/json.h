@@ -38,6 +38,12 @@ class JsonWriter {
   JsonWriter& value(u32 v) { return value(u64{v}); }
   JsonWriter& value(int v);
 
+  /// Appends a pre-serialized JSON value verbatim (comma/structure handling
+  /// as for value()).  The caller guarantees `json` is one well-formed
+  /// value; used to embed already-rendered documents (campaign reports
+  /// inside service responses) without a parse/dump round trip.
+  JsonWriter& raw_value(std::string_view json);
+
   /// key + value in one call.
   template <typename T>
   JsonWriter& field(const std::string& name, T&& v) {

@@ -1,0 +1,55 @@
+// Blocking client for the campaign service protocol: one connection, one
+// request line out, one response line back.  Used by the tests, the load
+// generator (examples/campaign_load.cpp) and anyone scripting the daemon.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "service/protocol.h"
+
+namespace sbm::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a Unix-domain socket path.
+  bool connect_unix(const std::string& path, std::string* error = nullptr);
+  /// Connects to 127.0.0.1:port.
+  bool connect_tcp(u16 port, std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request and reads one response line.  nullopt on transport
+  /// failure (the connection is closed); a parsed-but-error response is
+  /// returned normally (check "ok").
+  std::optional<JsonValue> request(const Request& req);
+  /// Raw variant for protocol tests: sends `line` + '\n' verbatim.
+  std::optional<JsonValue> request_raw(const std::string& line);
+
+  /// submit convenience: returns the job id, or nullopt with *code / *error
+  /// / *retry_after_ms filled from the rejection.
+  std::optional<std::string> submit(const JobSpec& spec, int* code = nullptr,
+                                    std::string* error = nullptr,
+                                    size_t* retry_after_ms = nullptr);
+  /// Polls status until the job reaches a terminal state (sleeping
+  /// `poll_ms` between polls); returns the final state string.
+  std::optional<std::string> wait_done(const std::string& id, size_t poll_ms = 2);
+
+ private:
+  bool send_line(const std::string& line);
+  std::optional<std::string> read_line();
+
+  int fd_ = -1;
+  std::string buf_;  // bytes past the last returned line
+};
+
+}  // namespace sbm::service

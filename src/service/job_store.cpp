@@ -1,0 +1,137 @@
+#include "service/job_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+
+#include "common/fsio.h"
+#include "common/json.h"
+
+namespace sbm::service {
+
+namespace {
+
+constexpr u64 kRecordVersion = 1;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+std::string job_record_to_json(const JobRecord& rec) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("version", kRecordVersion)
+      .field("id", rec.id)
+      .field("seq", rec.seq)
+      .field("state", std::string(to_string(rec.state)));
+  w.key("spec");
+  write_job_spec(w, rec.spec);
+  w.field("trials_done", rec.trials_done)
+      .field("fingerprint", rec.fingerprint)
+      .field("all_expected", rec.all_expected)
+      .field("resumed_trials", rec.resumed_trials)
+      .field("cancelled_trials", rec.cancelled_trials)
+      .field("failure", rec.failure);
+  if (!rec.report_json.empty()) w.key("report").raw_value(rec.report_json);
+  w.end_object();
+  return w.str();
+}
+
+std::optional<JobRecord> job_record_from_json(std::string_view json) {
+  const std::optional<JsonValue> doc = parse_json(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* version = doc->find("version");
+  const JsonValue* id = doc->find("id");
+  const JsonValue* state = doc->find("state");
+  const JsonValue* spec = doc->find("spec");
+  if (version == nullptr || version->as_u64() != kRecordVersion || id == nullptr ||
+      id->as_string().empty() || state == nullptr || spec == nullptr) {
+    return std::nullopt;
+  }
+  const auto parsed_state = job_state_from_string(state->as_string());
+  auto parsed_spec = job_spec_from_json(*spec);
+  if (!parsed_state || !parsed_spec) return std::nullopt;
+
+  JobRecord rec;
+  rec.id = id->as_string();
+  if (const JsonValue* f = doc->find("seq")) rec.seq = f->as_u64();
+  rec.state = *parsed_state;
+  rec.spec = std::move(*parsed_spec);
+  auto get_size = [&](const char* name, size_t& out) {
+    if (const JsonValue* f = doc->find(name)) out = static_cast<size_t>(f->as_u64());
+  };
+  get_size("trials_done", rec.trials_done);
+  if (const JsonValue* f = doc->find("fingerprint")) rec.fingerprint = f->as_u64();
+  if (const JsonValue* f = doc->find("all_expected")) rec.all_expected = f->as_bool();
+  get_size("resumed_trials", rec.resumed_trials);
+  get_size("cancelled_trials", rec.cancelled_trials);
+  if (const JsonValue* f = doc->find("failure")) rec.failure = f->as_string();
+  if (const JsonValue* f = doc->find("report")) {
+    if (!f->is_object()) return std::nullopt;
+    rec.report_json = f->dump();
+  }
+  return rec;
+}
+
+JobStore::JobStore(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0777);  // EEXIST is fine; deeper failures surface on save
+}
+
+std::string JobStore::job_path(const std::string& id) const {
+  return dir_ + "/job-" + id + ".json";
+}
+
+std::string JobStore::checkpoint_path(const std::string& id) const {
+  return dir_ + "/job-" + id + ".checkpoint.json";
+}
+
+bool JobStore::save(const JobRecord& rec) const {
+  return write_file_atomic(job_path(rec.id), job_record_to_json(rec));
+}
+
+void JobStore::remove_checkpoint(const std::string& id) const {
+  std::remove(checkpoint_path(id).c_str());
+}
+
+JobStore::Loaded JobStore::load_all() const {
+  Loaded out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string_view name = e->d_name;
+    if (ends_with(name, ".tmp")) {
+      // Debris from a write interrupted before its rename; the destination
+      // file (if any) is still whole, so the temp is safe to sweep.
+      std::remove((dir_ + "/" + std::string(name)).c_str());
+      continue;
+    }
+    if (!starts_with(name, "job-") || !ends_with(name, ".json") ||
+        ends_with(name, ".checkpoint.json")) {
+      continue;
+    }
+    const auto data = read_file(dir_ + "/" + std::string(name));
+    auto rec = data ? job_record_from_json(*data) : std::nullopt;
+    if (!rec) {
+      ++out.corrupt;
+      continue;
+    }
+    out.jobs.push_back(std::move(*rec));
+  }
+  ::closedir(d);
+  std::sort(out.jobs.begin(), out.jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+}  // namespace sbm::service

@@ -1,0 +1,74 @@
+// Durable job store for the campaign daemon (DESIGN.md §4h).
+//
+// One directory holds two files per job:
+//   job-<seq>.json             — the JobRecord: spec, lifecycle state, final
+//                                outcome summary and (when finished) the full
+//                                campaign report;
+//   job-<seq>.checkpoint.json  — the PR-4 campaign checkpoint the
+//                                orchestrator rewrites after every finished
+//                                trial (campaign/checkpoint.h format).
+//
+// Every write goes through write_file_atomic (temp + fsync + rename), so a
+// daemon killed at any instant leaves each file either whole-old or
+// whole-new.  On restart, load_all() returns every parseable record; stale
+// ".tmp" debris from an interrupted write is swept, and corrupt records are
+// counted and skipped rather than taking the daemon down.  Jobs found in
+// kQueued/kRunning re-enter the scheduler and resume from their checkpoint
+// — the determinism contract makes the resumed campaign's fingerprint
+// identical to an uninterrupted run's.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace sbm::service {
+
+struct JobRecord {
+  std::string id;  // "j-" + zero-padded seq
+  u64 seq = 0;     // global submission order (also the scheduler tie-break)
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  /// Trials finished so far (resumed + run); refreshed from the checkpoint
+  /// when a restarted daemon reloads an in-flight job.
+  size_t trials_done = 0;
+  /// Valid once state == kDone / kCancelled.
+  u64 fingerprint = 0;
+  bool all_expected = false;
+  size_t resumed_trials = 0;
+  size_t cancelled_trials = 0;
+  std::string failure;      // kFailed: what the pipeline threw
+  std::string report_json;  // full CampaignReport::to_json (kDone/kCancelled)
+};
+
+std::string job_record_to_json(const JobRecord& rec);
+std::optional<JobRecord> job_record_from_json(std::string_view json);
+
+class JobStore {
+ public:
+  /// Creates `dir` if missing (one level).
+  explicit JobStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string job_path(const std::string& id) const;
+  std::string checkpoint_path(const std::string& id) const;
+
+  /// Atomically rewrites the job's record file.
+  bool save(const JobRecord& rec) const;
+  /// Deletes the job's checkpoint file (once the job is terminal).
+  void remove_checkpoint(const std::string& id) const;
+
+  struct Loaded {
+    std::vector<JobRecord> jobs;  // sorted by seq
+    size_t corrupt = 0;           // files present but unparseable (skipped)
+  };
+  /// Scans the directory; sweeps "*.tmp" debris from interrupted writes.
+  Loaded load_all() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace sbm::service
