@@ -22,6 +22,7 @@
 #include "obs/trace.h"
 #include "runtime/probe_cache.h"
 #include "runtime/thread_pool.h"
+#include "simd/backend.h"
 
 namespace {
 
@@ -96,23 +97,53 @@ void print_cost_breakdown() {
   std::printf("verified LUT rewrites: %zu z-path + %zu feedback + %zu MUX (beta)\n",
               plain.lut1.size(), plain.feedback.size(), plain.mux_patches);
 
-  // ...the runtime configuration on one thread (probe cache + 64-lane
-  // bit-sliced batches, no pool)...
+  // ...the runtime configuration on one thread (probe cache + SIMD-wide
+  // bit-sliced batches under the active backend, no pool)...
+  const simd::Backend active = simd::active_backend();
   double wall_runtime_1t = 0;
-  const AttackResult batched_1t = run_once(true, nullptr, 64, &wall_runtime_1t);
+  const AttackResult batched_1t =
+      run_once(true, nullptr, simd::kMaxLanes, &wall_runtime_1t);
   // ...and the full production configuration (cache + batches + pool).
   double wall_runtime = 0;
-  const AttackResult cached = run_once(true, &runtime::ThreadPool::global(), 64, &wall_runtime);
-  std::printf("with probe cache + 64-lane batches: %zu true runs + %zu cache hits\n",
-              cached.oracle_runs, cached.cache_hits);
+  const AttackResult cached =
+      run_once(true, &runtime::ThreadPool::global(), simd::kMaxLanes, &wall_runtime);
+  std::printf("with probe cache + %s batches: %zu true runs + %zu cache hits\n",
+              simd::backend_name(active), cached.oracle_runs, cached.cache_hits);
   std::printf("wall: %.2fs plain, %.2fs batched 1 thread, %.2fs batched %u threads\n",
               wall_plain, wall_runtime_1t, wall_runtime,
               runtime::ThreadPool::global().concurrency());
-  const bool identical = plain.success && cached.success &&
-                         plain.faulty_keystream == cached.faulty_keystream &&
-                         plain.secrets.key == cached.secrets.key &&
-                         batched_1t.faulty_keystream == cached.faulty_keystream &&
-                         batched_1t.oracle_runs == cached.oracle_runs;
+  bool identical = plain.success && cached.success &&
+                   plain.faulty_keystream == cached.faulty_keystream &&
+                   plain.secrets.key == cached.secrets.key &&
+                   batched_1t.faulty_keystream == cached.faulty_keystream &&
+                   batched_1t.oracle_runs == cached.oracle_runs;
+
+  // The runtime_1t configuration once per usable SIMD backend: the wall
+  // clocks are the per-backend perf record, and results_identical covers the
+  // whole set — any backend drifting from the scalar reference is a bug, not
+  // a perf note.
+  struct BackendRun {
+    simd::Backend backend;
+    double wall = 0;
+    AttackResult res;
+  };
+  std::vector<BackendRun> backend_runs;
+  for (const simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kAvx512}) {
+    if (!simd::compiled(b) || !simd::host_supports(b)) continue;
+    simd::ScopedBackend scoped(b);
+    BackendRun run{b, 0, {}};
+    run.res = run_once(true, nullptr, simd::kMaxLanes, &run.wall);
+    std::printf("backend %-7s: %.2fs batched 1 thread, %zu true runs + %zu cache hits\n",
+                simd::backend_name(b), run.wall, run.res.oracle_runs, run.res.cache_hits);
+    identical = identical && run.res.success &&
+                run.res.faulty_keystream == plain.faulty_keystream &&
+                run.res.secrets.key == plain.secrets.key &&
+                run.res.oracle_runs == batched_1t.oracle_runs &&
+                run.res.cache_hits == batched_1t.cache_hits &&
+                run.res.probe_calls == batched_1t.probe_calls;
+    backend_runs.push_back(std::move(run));
+  }
   std::printf("scalar/batched results identical: %s\n", identical ? "yes" : "NO (BUG)");
 
   // The same attack through a mild()-noisy oracle with voting probes: the
@@ -156,18 +187,25 @@ void print_cost_breakdown() {
   w.begin_object();
   w.field("bench", "attack_e2e");
   w.field("threads", u64{runtime::ThreadPool::global().concurrency()});
+  w.field("backend", simd::backend_name(active));
   w.field("results_identical", identical);
-  auto entry = [&w](const char* name, const AttackResult& r, double wall) {
+  auto entry = [&w](const std::string& name, const AttackResult& r, double wall,
+                    const char* backend) {
     w.key(name).begin_object();
     w.field("wall_seconds", wall)
         .field("oracle_runs", r.oracle_runs)
         .field("cache_hits", r.cache_hits)
-        .field("probe_calls", r.probe_calls);
+        .field("probe_calls", r.probe_calls)
+        .field("backend", backend);
     w.end_object();
   };
-  entry("plain", plain, wall_plain);
-  entry("runtime_1t", batched_1t, wall_runtime_1t);
-  entry("runtime", cached, wall_runtime);
+  entry("plain", plain, wall_plain, "scalar");  // width 1: no bit-slicing at all
+  entry("runtime_1t", batched_1t, wall_runtime_1t, simd::backend_name(active));
+  entry("runtime", cached, wall_runtime, simd::backend_name(active));
+  for (const BackendRun& run : backend_runs) {
+    entry(std::string("runtime_1t_") + simd::backend_name(run.backend), run.res, run.wall,
+          simd::backend_name(run.backend));
+  }
   w.key("obs").begin_object();
   w.field("wall_seconds", wall_obs)
       .field("oracle_runs", observed.oracle_runs)
@@ -247,6 +285,18 @@ int main(int argc, char** argv) {
       g_trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && has_next) {
       g_metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--simd") == 0 && has_next) {
+      const char* name = argv[++i];
+      const auto backend = sbm::simd::parse_backend(name);
+      if (!backend) {
+        std::fprintf(stderr, "unknown SIMD backend '%s' (want scalar|avx2|avx512)\n", name);
+        return 2;
+      }
+      const sbm::simd::Backend actual = sbm::simd::set_active_backend(*backend);
+      if (actual != *backend) {
+        std::fprintf(stderr, "note: %s unavailable, using %s\n", name,
+                     sbm::simd::backend_name(actual));
+      }
     } else {
       argv[kept++] = argv[i];
     }

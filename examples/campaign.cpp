@@ -16,6 +16,7 @@
 
 #include "campaign/campaign.h"
 #include "obs/metrics.h"
+#include "simd/backend.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 
@@ -31,7 +32,10 @@ void usage(const char* argv0) {
       "  --seed S             master seed (default 0x5eedc0de)\n"
       "  --protected-every K  every K-th trial uses the protected design (default 0 = never)\n"
       "  --words W            keystream words per probe (default 16)\n"
-      "  --batch-width W      oracle probes packed per bit-sliced batch, 1-64 (default 64)\n"
+      "  --batch-width W      oracle probes packed per bit-sliced batch, 1-512; clamped\n"
+      "                       at runtime to the active SIMD backend's width (default 512)\n"
+      "  --simd BACKEND       force the SIMD backend: scalar|avx2|avx512 (default: widest\n"
+      "                       the host supports; falls back with a note if unavailable)\n"
       "  --no-cache           disable the probe cache\n"
       "  --serial-scan        keep FINDLUT scans single-threaded inside trials\n"
       "  --noise PROFILE      unreliable-hardware model: none|mild|harsh, optional @seed\n"
@@ -78,6 +82,22 @@ int main(int argc, char** argv) {
       opt.words = static_cast<size_t>(std::strtoull(next(), nullptr, 0));
     } else if (arg == "--batch-width") {
       opt.batch_width = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+      if (opt.batch_width == 0 || opt.batch_width > simd::kMaxLanes) {
+        std::fprintf(stderr, "--batch-width must be 1-%u\n", simd::kMaxLanes);
+        return 2;
+      }
+    } else if (arg == "--simd") {
+      const char* spec = next();
+      const auto backend = simd::parse_backend(spec);
+      if (!backend) {
+        std::fprintf(stderr, "unknown SIMD backend '%s' (want scalar|avx2|avx512)\n", spec);
+        return 2;
+      }
+      const simd::Backend actual = simd::set_active_backend(*backend);
+      if (actual != *backend) {
+        std::fprintf(stderr, "note: %s unavailable on this host/build, using %s\n",
+                     simd::backend_name(*backend), simd::backend_name(actual));
+      }
     } else if (arg == "--no-cache") {
       opt.use_probe_cache = false;
     } else if (arg == "--serial-scan") {

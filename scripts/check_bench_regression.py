@@ -72,18 +72,34 @@ def check_attack_e2e(fresh, baseline):
         print("FAIL: scalar and batched attack results diverged (results_identical=false)")
         ok = False
 
-    for entry in ("runtime", "runtime_1t", "noisy", "obs"):
+    for entry in ("runtime", "runtime_1t", "noisy", "obs",
+                  "runtime_1t_scalar", "runtime_1t_avx2", "runtime_1t_avx512"):
         base = baseline.get(entry, {}).get("wall_seconds")
         new = fresh.get(entry, {}).get("wall_seconds")
         if base is None or new is None:
-            # Older baselines predate runtime_1t/noisy; only the entries both
-            # files carry are comparable.
+            # Older baselines predate runtime_1t/noisy and the per-backend
+            # entries (which also vary with the build host's ISA); only the
+            # entries both files carry are comparable.
             continue
         budget = base * THRESHOLD
         status = "ok" if new <= budget else "REGRESSED"
         print(f"{entry}: {new:.3f}s vs baseline {base:.3f}s (budget {budget:.3f}s) {status}")
         if new > budget:
             ok = False
+
+    # SIMD backend equivalence: every per-backend runtime_1t entry must do
+    # exactly the same logical work as the main runtime_1t run — the backend
+    # choice is pure wall-clock, never behavioral.
+    ref = fresh.get("runtime_1t", {})
+    for entry in ("runtime_1t_scalar", "runtime_1t_avx2", "runtime_1t_avx512"):
+        run = fresh.get(entry)
+        if run is None:
+            continue
+        for field in ("oracle_runs", "cache_hits", "probe_calls"):
+            if ref.get(field) is not None and run.get(field) != ref.get(field):
+                print(f"FAIL: {entry}.{field} {run.get(field)} != "
+                      f"runtime_1t.{field} {ref.get(field)} (backend changed the attack)")
+                ok = False
 
     noisy = fresh.get("noisy")
     if noisy is not None:
@@ -169,6 +185,17 @@ def check_findlut_scaling(fresh, baseline):
               f"(budget {budget:.4f}s){extra} {status}")
         if new > budget:
             ok = False
+        # Index compile time (once per family per campaign) gets the same
+        # ratio + absolute-slack gate; older baselines predate the field.
+        base_build = base.get("index_build_seconds")
+        new_build = row.get("index_build_seconds")
+        if base_build is not None and new_build is not None:
+            budget = base_build * THRESHOLD + ABS_SLACK_SECONDS
+            status = "ok" if new_build <= budget else "REGRESSED"
+            print(f"{label}: index build {new_build:.4f}s vs baseline "
+                  f"{base_build:.4f}s (budget {budget:.4f}s) {status}")
+            if new_build > budget:
+                ok = False
     return ok
 
 

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
+#include "simd/wide.h"
 
 namespace sbm::attack {
 
@@ -40,7 +41,10 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
 
   static obs::Histogram& lanes_hist =
       obs::MetricsRegistry::global().histogram("oracle.batch_lanes");
-  const unsigned width = std::clamp(batch_width_, 1u, fpga::BatchDevice::kLanes);
+  // Width is a backend property: the knob accepts up to simd::kMaxLanes and
+  // each call clamps to the lanes the active backend actually offers.
+  const simd::Backend backend = simd::active_backend();
+  const unsigned width = std::clamp(batch_width_, 1u, simd::backend_lanes(backend));
   if (width == 1 || system_.snapshot == nullptr) {
     // Pure scalar reference path (also the fallback when the system carries
     // no snapshot, e.g. hand-built test fixtures).
@@ -59,11 +63,31 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
             out[begin] = run_one(bitstreams[begin], words);
             return;
           }
-          fpga::BatchDevice dev = system_.make_batch_device();
-          for (unsigned lane = 0; lane < lanes; ++lane) {
-            dev.configure_lane(lane, bitstreams[begin + lane]);
+          if (lanes <= fpga::BatchDevice::kLanes) {
+            // A ragged tail (or a narrow width) fits the scalar u64 device.
+            fpga::BatchDevice dev = system_.make_batch_device();
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+              dev.configure_lane(lane, bitstreams[begin + lane]);
+            }
+            auto ks = dev.keystream(iv_, words, lanes);
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+              out[begin + lane] = ProbeOutcome(std::move(ks[lane]));
+            }
+            return;
           }
-          auto ks = dev.keystream(iv_, words, lanes);
+          auto dev = simd::make_wide_device(system_, simd::best_fit_backend(lanes, backend));
+          if (dev == nullptr) {
+            // Unreachable once width was clamped to the resolved backend;
+            // kept as a safe serial fallback rather than an assert.
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+              out[begin + lane] = run_one(bitstreams[begin + lane], words);
+            }
+            return;
+          }
+          for (unsigned lane = 0; lane < lanes; ++lane) {
+            dev->configure_lane(lane, bitstreams[begin + lane]);
+          }
+          auto ks = dev->keystream(iv_, words, lanes);
           for (unsigned lane = 0; lane < lanes; ++lane) {
             out[begin + lane] = ProbeOutcome(std::move(ks[lane]));
           }

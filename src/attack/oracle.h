@@ -10,6 +10,7 @@
 #include "fpga/system.h"
 #include "runtime/retry.h"
 #include "runtime/thread_pool.h"
+#include "simd/backend.h"
 #include "snow3g/snow3g.h"
 
 namespace sbm::attack {
@@ -52,12 +53,15 @@ class Oracle {
 /// application uses; the attacker only needs it to be stable across runs.
 ///
 /// run_batch packs up to `batch_width` candidates into the lanes of one
-/// bit-sliced BatchDevice (sharding the chunks across `pool` when given);
-/// results are bit-identical to the scalar path for any width/thread count.
+/// bit-sliced batch device — chunks of at most 64 lanes use the scalar u64
+/// reference, wider chunks the 256/512-lane device of the active SIMD
+/// backend (simd::active_backend(); batch_width is clamped to its lane
+/// count per call).  Chunks shard across `pool` when given; results are
+/// bit-identical to the scalar path for any width/thread count/backend.
 class DeviceOracle : public Oracle {
  public:
   DeviceOracle(const fpga::System& system, const snow3g::Iv& iv,
-               runtime::ThreadPool* pool = nullptr, unsigned batch_width = 64)
+               runtime::ThreadPool* pool = nullptr, unsigned batch_width = simd::kMaxLanes)
       : system_(system), iv_(iv), pool_(pool), batch_width_(batch_width) {}
 
   runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override;
@@ -70,7 +74,7 @@ class DeviceOracle : public Oracle {
   const fpga::System& system_;
   snow3g::Iv iv_;
   runtime::ThreadPool* pool_ = nullptr;
-  unsigned batch_width_ = 64;
+  unsigned batch_width_ = simd::kMaxLanes;
 };
 
 }  // namespace sbm::attack

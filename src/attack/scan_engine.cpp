@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
-#include <unordered_map>
 
 #include "bitstream/lut_coding.h"
+#include "common/flat_map.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -26,27 +26,33 @@ PatternIndex::PatternIndex(std::span<const TruthTable6> functions, bool try_all_
     orders_.assign(dev.begin(), dev.end());
   }
 
+  // Dedup sets hoisted out of the candidate loop: FlatMap::clear keeps the
+  // capacity, so after the first candidate warms them up the 720-permutation
+  // inner loops probe flat, already-sized tables with no node allocation.
+  FlatMap<u64, u32, U64MixHash> seen;
+  FlatMap<u64, u32, U64MixHash> image_seen;
+  std::vector<std::pair<u64, u32>> distinct;  // (B, pattern index)
   for (size_t c = 0; c < functions.size(); ++c) {
     // Distinct xi-mapped patterns, first permutation wins — the same dedup
     // precompute_patterns does, so matched (table, perm) metadata agrees.
-    std::vector<std::pair<u64, u32>> distinct;  // (B, pattern index)
-    std::unordered_map<u64, u32> seen;
+    seen.clear();
+    distinct.clear();
     for (const auto& perm : logic::all_permutations6()) {
       const TruthTable6 t = functions[c].permuted(perm);
       const u64 b = bitstream::xi_permute(t.bits());
-      const auto [it, inserted] = seen.try_emplace(b, static_cast<u32>(patterns_.size()));
+      const auto [slot, inserted] = seen.try_emplace(b, static_cast<u32>(patterns_.size()));
       if (!inserted) continue;
       patterns_.push_back({t, perm});
-      distinct.emplace_back(b, it->second);
+      distinct.emplace_back(b, *slot);
     }
     // One entry per distinct memory image, lowest order index wins: when two
     // (pattern, order) pairs store identically, the serial scan's order loop
     // hits the earlier order first and breaks — Mark(l) semantics.
-    std::unordered_map<u64, size_t> image_seen;
+    image_seen.clear();
     for (u16 o = 0; o < orders_.size(); ++o) {
       for (const auto& [b, pattern] : distinct) {
         const u64 image = bitstream::storage_image(b, orders_[o]);
-        if (!image_seen.try_emplace(image, entries_.size()).second) continue;
+        if (!image_seen.try_emplace(image, 0).second) continue;
         entries_.push_back({image, pattern, static_cast<u16>(c), o});
       }
     }
@@ -66,6 +72,14 @@ PatternIndex::PatternIndex(std::span<const TruthTable6> functions, bool try_all_
   bucket_start_.assign((1u << 16) + 1, 0);
   for (const Entry& e : entries_) ++bucket_start_[static_cast<u16>(e.image) + 1];
   for (size_t i = 1; i < bucket_start_.size(); ++i) bucket_start_[i] += bucket_start_[i - 1];
+  // 64K-bit occupancy bitmap over the buckets.  Almost every byte position
+  // lands in an empty bucket, so the hot-loop prefilter reads this 8KB
+  // L1-resident bitmap instead of the 256KB CSR offset array.
+  bucket_nonempty_.assign((1u << 16) / 64, 0);
+  for (const Entry& e : entries_) {
+    const u16 b = static_cast<u16>(e.image);
+    bucket_nonempty_[b >> 6] |= u64{1} << (b & 63);
+  }
 }
 
 void PatternIndex::scan_range(std::span<const u8> bitstream, size_t offset_d, size_t l_begin,
@@ -76,8 +90,9 @@ void PatternIndex::scan_range(std::span<const u8> bitstream, size_t offset_d, si
   l_end = std::min(l_end, last + 1);
   const u8* bytes = bitstream.data();
   for (size_t l = l_begin; l < l_end; ++l) {
-    // Prefilter: one 16-bit load + one bucket probe per byte position.
+    // Prefilter: one 16-bit load + one bitmap probe per byte position.
     const u32 first = bytes[l] | (u32{bytes[l + 1]} << 8);
+    if (((bucket_nonempty_[first >> 6] >> (first & 63)) & 1) == 0) continue;
     const u32 begin = bucket_start_[first];
     const u32 end = bucket_start_[first + 1];
     if (begin == end) continue;

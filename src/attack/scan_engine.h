@@ -75,6 +75,7 @@ class PatternIndex {
   std::vector<Pattern> patterns_;
   std::vector<Entry> entries_;      // sorted by (image & 0xffff, candidate, order)
   std::vector<u32> bucket_start_;   // 64K+1 CSR offsets into entries_
+  std::vector<u64> bucket_nonempty_;  // 64K-bit bucket occupancy (8KB prefilter)
 };
 
 /// Scans the whole bitstream through `index`, sharding contiguous byte

@@ -18,12 +18,6 @@ namespace sbm::campaign {
 
 namespace {
 
-constexpr u64 mix64(u64 z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 bool is_protected_trial(const CampaignOptions& options, size_t index) {
   return options.protected_every != 0 && index % options.protected_every ==
                                              options.protected_every - 1;

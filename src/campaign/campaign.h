@@ -59,10 +59,12 @@ struct CampaignOptions {
   /// Hand each trial's FINDLUT scans the shared pool too (candidate and
   /// byte-range sharding inside a trial, on top of trial-level fan-out).
   bool scan_parallel = true;
-  /// Lanes per bit-sliced oracle batch (1..64).  1 selects the scalar
-  /// reference path; any width yields bit-identical trial outcomes (the
-  /// fingerprint() contract extends over this knob).
-  unsigned batch_width = 64;
+  /// Lanes per bit-sliced oracle batch (1..512, clamped at runtime to the
+  /// active SIMD backend's width — 64 scalar, 256 AVX2, 512 AVX-512).  1
+  /// selects the scalar reference path; any width and any backend yield
+  /// bit-identical trial outcomes (the fingerprint() contract extends over
+  /// this knob).
+  unsigned batch_width = 512;
   /// Unreliable-hardware model: a non-quiet profile wraps each trial's
   /// device in a faultsim::FaultyOracle (noise stream re-seeded per trial)
   /// and the pipeline probes with runtime::RetryPolicy::voting(3).  The

@@ -4,18 +4,13 @@
 
 #include "common/fsio.h"
 #include "common/json.h"
+#include "simd/backend.h"
 
 namespace sbm::campaign {
 
 namespace {
 
 constexpr u64 kCheckpointVersion = 1;
-
-constexpr u64 mix64(u64 z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
 
 }  // namespace
 
@@ -137,7 +132,7 @@ std::optional<CampaignOptions> options_from_json(const JsonValue& v) {
   if (const JsonValue* f = v.find("use_probe_cache")) o.use_probe_cache = f->as_bool(true);
   if (const JsonValue* f = v.find("scan_parallel")) o.scan_parallel = f->as_bool(true);
   if (const JsonValue* f = v.find("batch_width")) {
-    o.batch_width = static_cast<unsigned>(f->as_u64(64));
+    o.batch_width = static_cast<unsigned>(f->as_u64(simd::kMaxLanes));
   }
   if (const JsonValue* noise = v.find("noise")) {
     if (noise->kind == JsonValue::Kind::kString) {

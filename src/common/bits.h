@@ -57,6 +57,18 @@ constexpr void store_be32(u8* p, u32 w) {
   p[3] = static_cast<u8>(w);
 }
 
+/// SplitMix64 finalizer: a fast invertible mixer whose low bits depend on
+/// every input bit.  Used wherever a u64 feeds a power-of-two-masked hash
+/// table (std::hash<u64> is the identity in libstdc++, which clusters).
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Reads a big-endian 64-bit word from 8 bytes.
 constexpr u64 load_be64(const u8* p) {
   return (u64{load_be32(p)} << 32) | u64{load_be32(p + 4)};

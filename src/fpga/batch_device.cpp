@@ -1,111 +1,9 @@
 #include "fpga/batch_device.h"
 
-#include "bitstream/parser.h"
-#include "bitstream/patcher.h"
-
 namespace sbm::fpga {
 
-BatchDevice::BatchDevice(const netlist::Snow3gDesign& design, const mapper::PlacedDesign& placed,
-                         const bitstream::Layout& layout, const DeviceSnapshot& snapshot)
-    : design_(design), placed_(placed), layout_(layout), snap_(snapshot), sim_(snapshot.tape) {
-  sim_.set_tables(snap_.golden_tables);
-  keys_.fill(snap_.golden_key);
-}
-
-bool BatchDevice::configure_lane(unsigned lane, std::span<const u8> bytes) {
-  if (const auto diff = diff_against_golden(snap_, bytes)) {
-    for (const auto& [site, init] : diff->sites) {
-      const mapper::PhysicalLut& p = placed_.phys[site];
-      if (p.o6_lut >= 0) {
-        sim_.set_lut_table(static_cast<size_t>(p.o6_lut), lane,
-                           placed_.function_from_init(site, false, init).bits());
-      }
-      if (p.o5_lut >= 0) {
-        sim_.set_lut_table(static_cast<size_t>(p.o5_lut), lane,
-                           placed_.function_from_init(site, true, init).bits());
-      }
-    }
-    keys_[lane] = diff->key;
-    ok_mask_ |= u64{1} << lane;
-    return true;
-  }
-
-  // Full-parse fallback: identical acceptance criteria to Device::configure.
-  const bitstream::ParseResult parsed = bitstream::parse_bitstream(bytes);
-  if (!parsed.ok ||
-      parsed.frame_data.size() < layout_.frame_count * bitstream::kFrameBytes) {
-    ok_mask_ &= ~(u64{1} << lane);
-    return false;
-  }
-  for (size_t site = 0; site < placed_.phys.size(); ++site) {
-    const size_t l = layout_.site_byte_index(site) - layout_.fdri_byte_offset;
-    const auto order = bitstream::chunk_order(placed_.slice_of(site));
-    const u64 init = bitstream::read_lut_init(parsed.frame_data, l,
-                                              bitstream::Layout::chunk_stride(), order);
-    const mapper::PhysicalLut& p = placed_.phys[site];
-    if (p.o6_lut >= 0) {
-      const auto f = placed_.function_from_init(site, false, init);
-      if (f != snap_.golden_luts.luts[static_cast<size_t>(p.o6_lut)].function) {
-        sim_.set_lut_table(static_cast<size_t>(p.o6_lut), lane, f.bits());
-      }
-    }
-    if (p.o5_lut >= 0) {
-      const auto f = placed_.function_from_init(site, true, init);
-      if (f != snap_.golden_luts.luts[static_cast<size_t>(p.o5_lut)].function) {
-        sim_.set_lut_table(static_cast<size_t>(p.o5_lut), lane, f.bits());
-      }
-    }
-  }
-  const size_t key_off = layout_.key_byte_index() - layout_.fdri_byte_offset;
-  for (size_t w = 0; w < 4; ++w) {
-    keys_[lane][w] = load_be32(parsed.frame_data.data() + key_off + 4 * w);
-  }
-  ok_mask_ |= u64{1} << lane;
-  return true;
-}
-
-std::vector<std::optional<std::vector<u32>>> BatchDevice::keystream(const snow3g::Iv& iv,
-                                                                    size_t n, unsigned lanes) {
-  // Same drive sequence as Device::keystream, lane-sliced.  Rejected lanes
-  // run on whatever tables they hold (golden + any partial fallback writes);
-  // their results are discarded below.
-  sim_.reset();
-  for (unsigned lane = 0; lane < lanes; ++lane) {
-    for (size_t i = 0; i < 4; ++i) sim_.set_input_word_lane(design_.key[i], lane, keys_[lane][i]);
-  }
-  for (size_t i = 0; i < 4; ++i) sim_.set_input_word(design_.iv[i], iv[i]);
-  auto drive = [&](bool load, bool init, bool gen) {
-    sim_.set_input(design_.load, load);
-    sim_.set_input(design_.init, init);
-    sim_.set_input(design_.gen, gen);
-  };
-  drive(false, false, false);
-  sim_.step();
-  drive(true, false, false);
-  sim_.step();
-  for (int round = 0; round < 32; ++round) {
-    drive(false, true, false);
-    sim_.step();
-  }
-  drive(false, false, true);
-  sim_.step();  // discarded clock
-
-  std::vector<std::optional<std::vector<u32>>> out(lanes);
-  for (unsigned lane = 0; lane < lanes; ++lane) {
-    if ((ok_mask_ >> lane) & 1) {
-      out[lane].emplace();
-      out[lane]->reserve(n);
-    }
-  }
-  for (size_t t = 0; t < n; ++t) {
-    drive(false, false, true);
-    sim_.settle();
-    for (unsigned lane = 0; lane < lanes; ++lane) {
-      if (out[lane]) out[lane]->push_back(sim_.read_word_lane(design_.z, lane));
-    }
-    sim_.clock();
-  }
-  return out;
-}
+// The 64-lane scalar reference.  The 256/512-lane instantiations live in
+// src/simd/kernels_*.cpp, which are compiled with the matching -m flags.
+template class BatchDeviceT<u64>;
 
 }  // namespace sbm::fpga

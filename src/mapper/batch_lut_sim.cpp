@@ -1,7 +1,5 @@
 #include "mapper/batch_lut_sim.h"
 
-#include <cstring>
-
 namespace sbm::mapper {
 
 using netlist::Node;
@@ -49,6 +47,7 @@ BatchLutTape::BatchLutTape(const netlist::Network& net, const LutNetwork& mapped
         LutOp op;
         op.dst = id;
         op.table_offset = table_offset_[it->second];
+        op.lut_index = static_cast<u32>(it->second);
         op.k = k_of_[it->second];
         op.in.fill(netlist::kNoNode);
         for (size_t j = 0; j < lut.inputs.size(); ++j) op.in[j] = lut.inputs[j];
@@ -72,124 +71,8 @@ std::vector<u64> BatchLutTape::transpose_tables(const LutNetwork& mapped) const 
   return out;
 }
 
-BatchLutSimulator::BatchLutSimulator(std::shared_ptr<const BatchLutTape> tape)
-    : tape_(std::move(tape)),
-      value_(tape_->net().node_count(), 0),
-      state_(tape_->net().node_count(), 0),
-      tables_(tape_->table_words(), 0),
-      bram_out_(tape_->net().brams().size() * 32, 0),
-      bram_stamp_(tape_->net().brams().size(), 0) {
-  reset();
-}
-
-void BatchLutSimulator::set_tables(const LutNetwork& mapped) {
-  const std::vector<u64> t = tape_->transpose_tables(mapped);
-  set_tables(t);
-}
-
-void BatchLutSimulator::set_tables(std::span<const u64> transposed) {
-  std::memcpy(tables_.data(), transposed.data(), tables_.size() * sizeof(u64));
-}
-
-void BatchLutSimulator::set_lut_table(size_t lut_index, unsigned lane, u64 function_bits) {
-  u64* t = &tables_[tape_->table_offset(lut_index)];
-  const unsigned n = 1u << tape_->table_log2(lut_index);
-  const u64 mask = u64{1} << lane;
-  for (unsigned m = 0; m < n; ++m) {
-    t[m] = ((function_bits >> m) & 1) ? (t[m] | mask) : (t[m] & ~mask);
-  }
-}
-
-void BatchLutSimulator::set_input(NodeId input, bool v) { value_[input] = v ? ~u64{0} : 0; }
-
-void BatchLutSimulator::set_input_word(const netlist::Word& w, u32 v) {
-  for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(v, i) != 0);
-}
-
-void BatchLutSimulator::set_input_lane(NodeId input, unsigned lane, bool v) {
-  const u64 mask = u64{1} << lane;
-  value_[input] = v ? (value_[input] | mask) : (value_[input] & ~mask);
-}
-
-void BatchLutSimulator::set_input_word_lane(const netlist::Word& w, unsigned lane, u32 v) {
-  for (unsigned i = 0; i < 32; ++i) set_input_lane(w[i], lane, bit_of(v, i) != 0);
-}
-
-void BatchLutSimulator::eval_bram(u32 index) {
-  const netlist::Bram& b = tape_->net().brams()[index];
-  u64* out = &bram_out_[size_t{index} * 32];
-  for (unsigned i = 0; i < 32; ++i) out[i] = 0;
-  for (unsigned lane = 0; lane < kLanes; ++lane) {
-    u32 addr = 0;
-    for (unsigned i = 0; i < 32; ++i) addr |= static_cast<u32>((value_[b.inputs[i]] >> lane) & 1)
-                                              << i;
-    const u32 o = b.eval(addr);
-    for (unsigned i = 0; i < 32; ++i) out[i] |= u64{(o >> i) & 1} << lane;
-  }
-}
-
-void BatchLutSimulator::settle() {
-  ++stamp_;
-  const netlist::Network& net = tape_->net();
-  for (NodeId dff : net.dffs()) value_[dff] = state_[dff];
-  for (const BatchLutTape::Run& r : tape_->runs()) {
-    switch (r.kind) {
-      case BatchLutTape::Kind::kLut:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const BatchLutTape::LutOp& op = tape_->lut_ops()[i];
-          // Shannon mux tree over the lane-transposed table: level v halves
-          // the live table by selecting on input v's lane vector.
-          u64 s[64];
-          const u64* src = &tables_[op.table_offset];
-          unsigned n = 1u << op.k;
-          for (unsigned v = 0; v < op.k; ++v) {
-            const u64 x = value_[op.in[v]];
-            n >>= 1;
-            for (unsigned j = 0; j < n; ++j) s[j] = (src[2 * j] & ~x) | (src[2 * j + 1] & x);
-            src = s;
-          }
-          value_[op.dst] = src[0];
-        }
-        break;
-      case BatchLutTape::Kind::kCarry:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const BatchLutTape::CarryOp& op = tape_->carry_ops()[i];
-          const u64 a = value_[op.a], b = value_[op.b], c = value_[op.c];
-          value_[op.dst] = (a & b) | (c & (a ^ b));
-        }
-        break;
-      case BatchLutTape::Kind::kBram:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const BatchLutTape::BramOp& op = tape_->bram_ops()[i];
-          if (bram_stamp_[op.bram] != stamp_) {
-            eval_bram(op.bram);
-            bram_stamp_[op.bram] = stamp_;
-          }
-          value_[op.dst] = bram_out_[size_t{op.bram} * 32 + op.bit];
-        }
-        break;
-    }
-  }
-}
-
-void BatchLutSimulator::clock() {
-  const netlist::Network& net = tape_->net();
-  for (NodeId dff : net.dffs()) {
-    const NodeId d = net.node(dff).fanin[0];
-    state_[dff] = d == netlist::kNoNode ? 0 : value_[d];
-  }
-}
-
-u32 BatchLutSimulator::read_word_lane(const netlist::Word& w, unsigned lane) const {
-  u32 v = 0;
-  for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i], lane)} << i;
-  return v;
-}
-
-void BatchLutSimulator::reset() {
-  std::fill(value_.begin(), value_.end(), 0);
-  std::fill(state_.begin(), state_.end(), 0);
-  value_[tape_->net().const1()] = ~u64{0};
-}
+// The portable scalar reference.  The 256/512-lane instantiations live in
+// src/simd/kernels_*.cpp, which are compiled with the matching -m flags.
+template class BatchLutSimulatorT<u64>;
 
 }  // namespace sbm::mapper

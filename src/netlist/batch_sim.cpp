@@ -2,144 +2,8 @@
 
 namespace sbm::netlist {
 
-BatchSimulator::BatchSimulator(const Network& net)
-    : net_(net), value_(net.node_count(), 0), state_(net.node_count(), 0) {
-  compile();
-  reset();
-}
-
-void BatchSimulator::compile() {
-  bram_out_.assign(net_.brams().size() * 32, 0);
-  bram_stamp_.assign(net_.brams().size(), 0);
-
-  auto start_run = [this](Kind kind, u32 begin) {
-    if (!runs_.empty() && runs_.back().kind == kind) return;
-    runs_.push_back({kind, begin, begin});
-  };
-  for (NodeId id : net_.topo_order()) {
-    const Node& n = net_.node(id);
-    switch (n.kind) {
-      case NodeKind::kConst0:
-      case NodeKind::kConst1:
-      case NodeKind::kInput:
-      case NodeKind::kDff:
-        break;  // constants set at reset, inputs testbench-driven, DFFs preloaded
-      case NodeKind::kBramOut:
-        start_run(Kind::kBram, static_cast<u32>(bram_ops_.size()));
-        bram_ops_.push_back({id, n.bram, n.bram_bit});
-        runs_.back().end = static_cast<u32>(bram_ops_.size());
-        break;
-      default: {
-        const Kind kind = n.kind == NodeKind::kAnd   ? Kind::kAnd
-                          : n.kind == NodeKind::kOr  ? Kind::kOr
-                          : n.kind == NodeKind::kXor ? Kind::kXor
-                          : n.kind == NodeKind::kNot ? Kind::kNot
-                                                     : Kind::kCarry;
-        start_run(kind, static_cast<u32>(ops_.size()));
-        ops_.push_back({id, n.fanin[0], n.fanin[1], n.fanin[2]});
-        runs_.back().end = static_cast<u32>(ops_.size());
-        break;
-      }
-    }
-  }
-}
-
-void BatchSimulator::set_input(NodeId input, bool v) { value_[input] = v ? ~u64{0} : 0; }
-
-void BatchSimulator::set_input_word(const Word& w, u32 v) {
-  for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(v, i) != 0);
-}
-
-void BatchSimulator::set_input_lane(NodeId input, unsigned lane, bool v) {
-  const u64 mask = u64{1} << lane;
-  value_[input] = v ? (value_[input] | mask) : (value_[input] & ~mask);
-}
-
-void BatchSimulator::set_input_word_lane(const Word& w, unsigned lane, u32 v) {
-  for (unsigned i = 0; i < 32; ++i) set_input_lane(w[i], lane, bit_of(v, i) != 0);
-}
-
-void BatchSimulator::eval_bram(u32 index) {
-  const Bram& b = net_.brams()[index];
-  u64* out = &bram_out_[size_t{index} * 32];
-  for (unsigned i = 0; i < 32; ++i) out[i] = 0;
-  for (unsigned lane = 0; lane < kLanes; ++lane) {
-    u32 addr = 0;
-    for (unsigned i = 0; i < 32; ++i) addr |= static_cast<u32>((value_[b.inputs[i]] >> lane) & 1)
-                                              << i;
-    const u32 o = b.eval(addr);
-    for (unsigned i = 0; i < 32; ++i) out[i] |= u64{(o >> i) & 1} << lane;
-  }
-}
-
-void BatchSimulator::settle() {
-  ++stamp_;
-  for (NodeId dff : net_.dffs()) value_[dff] = state_[dff];
-  for (const Run& r : runs_) {
-    switch (r.kind) {
-      case Kind::kAnd:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const Op& o = ops_[i];
-          value_[o.dst] = value_[o.a] & value_[o.b];
-        }
-        break;
-      case Kind::kOr:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const Op& o = ops_[i];
-          value_[o.dst] = value_[o.a] | value_[o.b];
-        }
-        break;
-      case Kind::kXor:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const Op& o = ops_[i];
-          value_[o.dst] = value_[o.a] ^ value_[o.b];
-        }
-        break;
-      case Kind::kNot:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const Op& o = ops_[i];
-          value_[o.dst] = ~value_[o.a];
-        }
-        break;
-      case Kind::kCarry:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const Op& o = ops_[i];
-          const u64 a = value_[o.a], b = value_[o.b], c = value_[o.c];
-          value_[o.dst] = (a & b) | (c & (a ^ b));
-        }
-        break;
-      case Kind::kBram:
-        for (u32 i = r.begin; i < r.end; ++i) {
-          const BramOp& o = bram_ops_[i];
-          if (bram_stamp_[o.bram] != stamp_) {
-            eval_bram(o.bram);
-            bram_stamp_[o.bram] = stamp_;
-          }
-          value_[o.dst] = bram_out_[size_t{o.bram} * 32 + o.bit];
-        }
-        break;
-    }
-  }
-}
-
-void BatchSimulator::clock() {
-  for (NodeId dff : net_.dffs()) {
-    const NodeId d = net_.node(dff).fanin[0];
-    state_[dff] = d == kNoNode ? 0 : value_[d];
-  }
-}
-
-u32 BatchSimulator::read_word_lane(const Word& w, unsigned lane) const {
-  u32 v = 0;
-  for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i], lane)} << i;
-  return v;
-}
-
-void BatchSimulator::reset() {
-  std::fill(value_.begin(), value_.end(), 0);
-  std::fill(state_.begin(), state_.end(), 0);
-  value_[net_.const1()] = ~u64{0};
-  // stamp_ deliberately kept: BRAM caches are per-settle, not per-reset.
-}
+// The portable scalar reference.  The 256/512-lane instantiations live in
+// src/simd/kernels_*.cpp, which are compiled with the matching -m flags.
+template class BatchSimulatorT<u64>;
 
 }  // namespace sbm::netlist

@@ -1,37 +1,54 @@
-// Bit-sliced 64-lane simulator for Network.
+// Bit-sliced lane-parallel simulator for Network.
 //
-// One u64 per net: bit l of a net's value is the net's value in lane l, so
-// up to 64 independent stimulus vectors advance through the design per
-// settle.  The network is compiled once into a flat evaluation tape —
-// same-kind nodes coalesce into runs dispatched with one switch per run
-// instead of one per node — and BRAM lookups are evaluated once per block
-// per settle by gathering the 32-bit address of every lane.
+// One lane vector per net: bit l of a net's value is the net's value in lane
+// l, so up to lane_count<LV> independent stimulus vectors advance through
+// the design per settle.  The network is compiled once into a flat
+// evaluation tape — same-kind nodes coalesce into runs dispatched with one
+// switch per run instead of one per node — and BRAM lookups are evaluated
+// once per block per settle by gathering the 32-bit address of every lane.
+//
+// The class is templated over the lane-vector type (simd/lane_vec.h):
+// BatchSimulator = BatchSimulatorT<u64> is the portable 64-lane reference
+// every existing call site uses; the 256/512-lane instantiations live in the
+// src/simd/ kernel TUs behind type-erased factories (simd/wide.h) so no
+// other TU instantiates code that needs AVX compile flags.
 //
 // Semantics match netlist::Simulator lane-for-lane: for any input schedule,
 // lane l of this simulator equals a scalar Simulator driven with lane l's
-// inputs (tests/test_batch_sim.cpp enforces this on random vectors).
+// inputs (tests/test_batch_sim.cpp enforces this on random vectors; the
+// wide instantiations are differentials in tests/test_simd.cpp).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "simd/lane_vec.h"
+#include "simd/transpose.h"
 
 namespace sbm::netlist {
 
-class BatchSimulator {
+template <class LV>
+class BatchSimulatorT {
  public:
-  static constexpr unsigned kLanes = 64;
+  static constexpr unsigned kLanes = simd::lane_count<LV>;
 
-  explicit BatchSimulator(const Network& net);
+  explicit BatchSimulatorT(const Network& net);
 
   /// Broadcasts: drive the same value into every lane.
-  void set_input(NodeId input, bool value);
-  void set_input_word(const Word& w, u32 value);
+  void set_input(NodeId input, bool value) { value_[input] = simd::broadcast<LV>(value); }
+  void set_input_word(const Word& w, u32 value) {
+    for (unsigned i = 0; i < 32; ++i) set_input(w[i], bit_of(value, i) != 0);
+  }
 
   /// Per-lane stimulus.
-  void set_input_lanes(NodeId input, u64 lanes) { value_[input] = lanes; }
-  void set_input_lane(NodeId input, unsigned lane, bool value);
-  void set_input_word_lane(const Word& w, unsigned lane, u32 value);
+  void set_input_lanes(NodeId input, const LV& lanes) { value_[input] = lanes; }
+  void set_input_lane(NodeId input, unsigned lane, bool value) {
+    simd::set_lane(value_[input], lane, value);
+  }
+  void set_input_word_lane(const Word& w, unsigned lane, u32 value) {
+    for (unsigned i = 0; i < 32; ++i) set_input_lane(w[i], lane, bit_of(value, i) != 0);
+  }
 
   void settle();
   void clock();
@@ -40,9 +57,13 @@ class BatchSimulator {
     clock();
   }
 
-  u64 value_lanes(NodeId id) const { return value_[id]; }
-  bool value(NodeId id, unsigned lane) const { return ((value_[id] >> lane) & 1) != 0; }
-  u32 read_word_lane(const Word& w, unsigned lane) const;
+  const LV& value_lanes(NodeId id) const { return value_[id]; }
+  bool value(NodeId id, unsigned lane) const { return simd::get_lane(value_[id], lane); }
+  u32 read_word_lane(const Word& w, unsigned lane) const {
+    u32 v = 0;
+    for (unsigned i = 0; i < 32; ++i) v |= u32{value(w[i], lane)} << i;
+    return v;
+  }
 
   /// Resets all registers and nets to 0 in every lane.
   void reset();
@@ -71,15 +92,152 @@ class BatchSimulator {
   void eval_bram(u32 index);
 
   const Network& net_;
-  std::vector<u64> value_;  // lane vector per net
-  std::vector<u64> state_;  // lane vector per DFF
+  std::vector<LV> value_;  // lane vector per net
+  std::vector<LV> state_;  // lane vector per DFF
 
   std::vector<Run> runs_;
   std::vector<Op> ops_;           // kAnd/kOr/kXor/kNot/kCarry operands
   std::vector<BramOp> bram_ops_;  // one per BRAM output bit
-  std::vector<u64> bram_out_;     // 32 lane words per BRAM block
+  std::vector<LV> bram_out_;      // 32 lane words per BRAM block
   std::vector<u32> bram_stamp_;   // settle stamp of the last block eval
   u32 stamp_ = 0;
 };
+
+/// The portable 64-lane reference instantiation (defined in batch_sim.cpp).
+using BatchSimulator = BatchSimulatorT<u64>;
+extern template class BatchSimulatorT<u64>;
+
+template <class LV>
+BatchSimulatorT<LV>::BatchSimulatorT(const Network& net)
+    : net_(net), value_(net.node_count(), LV{}), state_(net.node_count(), LV{}) {
+  compile();
+  reset();
+}
+
+template <class LV>
+void BatchSimulatorT<LV>::compile() {
+  bram_out_.assign(net_.brams().size() * 32, LV{});
+  bram_stamp_.assign(net_.brams().size(), 0);
+
+  auto start_run = [this](Kind kind, u32 begin) {
+    if (!runs_.empty() && runs_.back().kind == kind) return;
+    runs_.push_back({kind, begin, begin});
+  };
+  for (NodeId id : net_.topo_order()) {
+    const Node& n = net_.node(id);
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+      case NodeKind::kInput:
+      case NodeKind::kDff:
+        break;  // constants set at reset, inputs testbench-driven, DFFs preloaded
+      case NodeKind::kBramOut:
+        start_run(Kind::kBram, static_cast<u32>(bram_ops_.size()));
+        bram_ops_.push_back({id, n.bram, n.bram_bit});
+        runs_.back().end = static_cast<u32>(bram_ops_.size());
+        break;
+      default: {
+        const Kind kind = n.kind == NodeKind::kAnd   ? Kind::kAnd
+                          : n.kind == NodeKind::kOr  ? Kind::kOr
+                          : n.kind == NodeKind::kXor ? Kind::kXor
+                          : n.kind == NodeKind::kNot ? Kind::kNot
+                                                     : Kind::kCarry;
+        start_run(kind, static_cast<u32>(ops_.size()));
+        ops_.push_back({id, n.fanin[0], n.fanin[1], n.fanin[2]});
+        runs_.back().end = static_cast<u32>(ops_.size());
+        break;
+      }
+    }
+  }
+}
+
+template <class LV>
+void BatchSimulatorT<LV>::eval_bram(u32 index) {
+  // Per 64-lane word: transpose the 32 input vectors into per-lane
+  // addresses, evaluate the opaque table per lane, transpose back (see
+  // simd/transpose.h — the naive per-lane bit gather is ~10x slower).
+  const Bram& b = net_.brams()[index];
+  LV* out = &bram_out_[size_t{index} * 32];
+  for (unsigned w = 0; w < simd::lane_traits<LV>::kWords; ++w) {
+    u64 in[32];
+    for (unsigned i = 0; i < 32; ++i) {
+      in[i] = simd::lane_traits<LV>::word(value_[b.inputs[i]], w);
+    }
+    u32 addr[64];
+    simd::gather_addresses(in, addr);
+    u32 o[64];
+    for (unsigned l = 0; l < 64; ++l) o[l] = b.eval(addr[l]);
+    u64 ow[32];
+    simd::scatter_outputs(o, ow);
+    for (unsigned i = 0; i < 32; ++i) simd::lane_traits<LV>::word(out[i], w) = ow[i];
+  }
+}
+
+template <class LV>
+void BatchSimulatorT<LV>::settle() {
+  ++stamp_;
+  for (NodeId dff : net_.dffs()) value_[dff] = state_[dff];
+  for (const Run& r : runs_) {
+    switch (r.kind) {
+      case Kind::kAnd:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const Op& o = ops_[i];
+          value_[o.dst] = value_[o.a] & value_[o.b];
+        }
+        break;
+      case Kind::kOr:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const Op& o = ops_[i];
+          value_[o.dst] = value_[o.a] | value_[o.b];
+        }
+        break;
+      case Kind::kXor:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const Op& o = ops_[i];
+          value_[o.dst] = value_[o.a] ^ value_[o.b];
+        }
+        break;
+      case Kind::kNot:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const Op& o = ops_[i];
+          value_[o.dst] = ~value_[o.a];
+        }
+        break;
+      case Kind::kCarry:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const Op& o = ops_[i];
+          const LV a = value_[o.a], b = value_[o.b], c = value_[o.c];
+          value_[o.dst] = (a & b) | (c & (a ^ b));
+        }
+        break;
+      case Kind::kBram:
+        for (u32 i = r.begin; i < r.end; ++i) {
+          const BramOp& o = bram_ops_[i];
+          if (bram_stamp_[o.bram] != stamp_) {
+            eval_bram(o.bram);
+            bram_stamp_[o.bram] = stamp_;
+          }
+          value_[o.dst] = bram_out_[size_t{o.bram} * 32 + o.bit];
+        }
+        break;
+    }
+  }
+}
+
+template <class LV>
+void BatchSimulatorT<LV>::clock() {
+  for (NodeId dff : net_.dffs()) {
+    const NodeId d = net_.node(dff).fanin[0];
+    state_[dff] = d == kNoNode ? LV{} : value_[d];
+  }
+}
+
+template <class LV>
+void BatchSimulatorT<LV>::reset() {
+  std::fill(value_.begin(), value_.end(), LV{});
+  std::fill(state_.begin(), state_.end(), LV{});
+  value_[net_.const1()] = simd::ones<LV>();
+  // stamp_ deliberately kept: BRAM caches are per-settle, not per-reset.
+}
 
 }  // namespace sbm::netlist

@@ -21,10 +21,10 @@
 #include <mutex>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bits.h"
+#include "common/flat_map.h"
 
 namespace sbm::runtime {
 
@@ -62,15 +62,23 @@ class ProbeCache {
 
   void clear();
 
- private:
+ public:
+  /// Hash over the already well-mixed 128-bit content key.  Public so the
+  /// accounting-parity test can drive a reference map with the same hash.
   struct KeyHash {
     size_t operator()(const ProbeKey& k) const {
       return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull) ^ k.words);
     }
   };
+
+ private:
+  // Open-addressing shard (common/flat_map.h): probe keys are uniformly
+  // mixed content hashes, so linear probing stays short, and the flat
+  // layout turns each lookup into one predictable memory stream instead of
+  // a node-pointer chase.
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<ProbeKey, ProbeResult, KeyHash> map;
+    FlatMap<ProbeKey, ProbeResult, KeyHash> map;
   };
 
   Shard& shard_of(const ProbeKey& key) { return shards_[key.lo % shards_.size()]; }

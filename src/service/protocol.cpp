@@ -2,6 +2,7 @@
 
 #include "campaign/checkpoint.h"
 #include "common/json.h"
+#include "simd/backend.h"
 
 namespace sbm::service {
 
@@ -68,7 +69,8 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v) {
     spec.options = *options;
   }
   if (spec.options.trials == 0 || spec.options.words == 0 ||
-      spec.options.batch_width == 0 || spec.options.batch_width > 64) {
+      spec.options.batch_width == 0 ||
+      spec.options.batch_width > simd::kMaxLanes) {
     return std::nullopt;
   }
   return spec;

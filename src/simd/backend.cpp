@@ -1,0 +1,106 @@
+#include "simd/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sbm::simd {
+
+namespace {
+
+// -1 = not yet resolved; otherwise the Backend value.  Resolution is
+// idempotent (same env, same CPUID), so a racing double-resolve is harmless.
+std::atomic<int>& active_slot() {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+Backend resolve_usable(Backend requested) {
+  return resolve_backend(requested,
+                         compiled(Backend::kAvx2) && host_supports(Backend::kAvx2),
+                         compiled(Backend::kAvx512) && host_supports(Backend::kAvx512));
+}
+
+Backend env_backend() {
+  const char* env = std::getenv("SBM_SIMD_BACKEND");
+  if (env == nullptr || *env == '\0') return auto_backend();
+  if (const auto parsed = parse_backend(env)) return resolve_usable(*parsed);
+  return auto_backend();  // unknown value (including "auto"): widest usable
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar" || name == "u64") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  return std::nullopt;
+}
+
+bool compiled(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(SBM_SIMD_HAS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+#if defined(SBM_SIMD_HAS_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool host_supports(Backend b) {
+  if (b == Backend::kScalar) return true;
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  if (b == Backend::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+  return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend auto_backend() { return resolve_usable(Backend::kAvx512); }
+
+Backend best_fit_backend(unsigned lanes, Backend active) {
+  if (lanes <= backend_lanes(Backend::kScalar)) return Backend::kScalar;
+  if (lanes <= backend_lanes(Backend::kAvx2) && active == Backend::kAvx512 &&
+      compiled(Backend::kAvx2) && host_supports(Backend::kAvx2)) {
+    return Backend::kAvx2;
+  }
+  return active;
+}
+
+Backend active_backend() {
+  const int v = active_slot().load(std::memory_order_acquire);
+  if (v >= 0) return static_cast<Backend>(v);
+  const Backend b = env_backend();
+  active_slot().store(static_cast<int>(b), std::memory_order_release);
+  return b;
+}
+
+Backend set_active_backend(Backend requested) {
+  const Backend b = resolve_usable(requested);
+  active_slot().store(static_cast<int>(b), std::memory_order_release);
+  return b;
+}
+
+}  // namespace sbm::simd

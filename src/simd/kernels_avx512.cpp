@@ -1,0 +1,25 @@
+// AVX-512 kernel TU: the only place LaneVec<8> (512 lanes) is instantiated.
+// Compiled with -mavx512f -mavx512bw -mavx512vl (see simd/CMakeLists.txt);
+// the Shannon mux step in lane_vec.h collapses into single VPTERNLOGQ
+// instructions at this width.
+#include "simd/kernels.h"
+#include "simd/wide_impl.h"
+
+namespace sbm::simd {
+
+using Avx512Vec = LaneVec<8>;
+
+std::unique_ptr<WideDevice> make_wide_device_avx512(const fpga::System& sys) {
+  return std::make_unique<WideDeviceImpl<Avx512Vec>>(sys);
+}
+
+std::unique_ptr<WideNetSim> make_wide_net_sim_avx512(const netlist::Network& net) {
+  return std::make_unique<WideNetSimImpl<Avx512Vec>>(net);
+}
+
+std::unique_ptr<WideLutSim> make_wide_lut_sim_avx512(
+    std::shared_ptr<const mapper::BatchLutTape> tape) {
+  return std::make_unique<WideLutSimImpl<Avx512Vec>>(std::move(tape));
+}
+
+}  // namespace sbm::simd

@@ -1,0 +1,63 @@
+// Bit-matrix transposes for the batch simulators' BRAM path.
+//
+// A BRAM lookup cannot be evaluated bit-sliced (the table is an opaque
+// 32-bit function), so the simulators drop to per-lane addresses: gather 32
+// address bits per lane, evaluate, scatter 32 output bits per lane.  Done
+// bit-by-bit that is 64 * 64 shift/mask operations per 64-lane word; done as
+// a bit-matrix transpose it is four 32x32 transposes (~150 word operations)
+// per word, an order of magnitude less.  Plain portable code — the kernel
+// TUs may compile it with wider -m flags, but the win here is algorithmic.
+#pragma once
+
+#include "common/bits.h"
+
+namespace sbm::simd {
+
+/// In-place 32x32 bit-matrix transpose: afterwards bit j of a[i] is what bit
+/// i of a[j] was (row index and bit index swap; bit 0 is column 0).  The
+/// recursive block-swap of Hacker's Delight 7-3, mirrored for LSB-first
+/// columns: level j swaps the upper-bit halves of rows k..k+j-1 with the
+/// lower-bit halves of rows k+j..k+2j-1.
+inline void transpose32(u32 a[32]) {
+  u32 m = 0x0000FFFFu;
+  for (unsigned j = 16; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 32; k = (k + j + 1) & ~j) {
+      const u32 t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+/// Gather transpose: in[i] holds input bit i across 64 lanes (bit l = lane
+/// l); addr[l] receives lane l's 32-bit address (bit i = in[i] bit l).
+inline void gather_addresses(const u64 in[32], u32 addr[64]) {
+  u32 lo[32], hi[32];
+  for (unsigned i = 0; i < 32; ++i) {
+    lo[i] = static_cast<u32>(in[i]);
+    hi[i] = static_cast<u32>(in[i] >> 32);
+  }
+  transpose32(lo);
+  transpose32(hi);
+  for (unsigned l = 0; l < 32; ++l) {
+    addr[l] = lo[l];
+    addr[32 + l] = hi[l];
+  }
+}
+
+/// Scatter transpose: o[l] holds lane l's 32-bit output; out[i] receives
+/// output bit i across 64 lanes (bit l = o[l] bit i).
+inline void scatter_outputs(const u32 o[64], u64 out[32]) {
+  u32 lo[32], hi[32];
+  for (unsigned l = 0; l < 32; ++l) {
+    lo[l] = o[l];
+    hi[l] = o[32 + l];
+  }
+  transpose32(lo);
+  transpose32(hi);
+  for (unsigned i = 0; i < 32; ++i) {
+    out[i] = static_cast<u64>(lo[i]) | (static_cast<u64>(hi[i]) << 32);
+  }
+}
+
+}  // namespace sbm::simd

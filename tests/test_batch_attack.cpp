@@ -47,7 +47,11 @@ TEST(BatchAttack, FullAttackInvariantAcrossWidthsAndThreads) {
     unsigned width;
     runtime::ThreadPool* pool;
   };
-  const Config configs[] = {{7, nullptr}, {7, &pool}, {64, nullptr}, {64, &pool}};
+  // Widths beyond 64 engage the wide SIMD backends when compiled in; the
+  // oracle clamps them to the active backend's lane count, and the results
+  // must stay bit-identical either way.
+  const Config configs[] = {{7, nullptr}, {7, &pool}, {64, nullptr}, {64, &pool},
+                            {256, &pool}, {512, nullptr}, {512, &pool}};
   for (const Config& c : configs) {
     SCOPED_TRACE("width " + std::to_string(c.width) + (c.pool ? ", 8 threads" : ", serial"));
     const attack::AttackResult res = run_attack(c.width, c.pool);
@@ -80,7 +84,7 @@ TEST(BatchAttack, CampaignFingerprintInvariantAcrossWidthsAndThreads) {
     unsigned width;
     unsigned threads;
   };
-  for (const Config c : {Config{7, 8}, Config{64, 1}, Config{64, 8}}) {
+  for (const Config c : {Config{7, 8}, Config{64, 1}, Config{64, 8}, Config{512, 8}}) {
     SCOPED_TRACE("width " + std::to_string(c.width) + ", " + std::to_string(c.threads) +
                  " threads");
     campaign::CampaignOptions vopt = opt;

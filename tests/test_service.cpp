@@ -113,7 +113,12 @@ TEST(ServiceProtocol, MalformedRequestsAreRejected) {
       parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"trials\":0}}}", &error)
           .has_value());
   EXPECT_FALSE(
-      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"batch_width\":65}}}", &error)
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"batch_width\":513}}}", &error)
+          .has_value());
+  // Widths up to the SIMD ceiling are accepted (clamped at runtime to the
+  // active backend's lane count).
+  EXPECT_TRUE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"batch_width\":512}}}", &error)
           .has_value());
 }
 

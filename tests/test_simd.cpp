@@ -1,0 +1,673 @@
+// SIMD backend layer: runtime dispatch rules, lane-vector algebra, the
+// bit-matrix transpose used by the wide BRAM path, the flat-map layout of
+// the hot lookup structures, and — the load-bearing contract — bit-exact
+// equivalence of the AVX2/AVX-512 wide simulators with the portable scalar
+// u64 reference, from raw lane differentials up through DeviceOracle
+// batches, the full Section VI attack and the campaign fingerprint.
+//
+// Only LaneVec<2> (128-bit, baseline SSE2 on x86-64) is instantiated here:
+// the 256/512-lane vectors are ODR-used exclusively inside the kernel TUs
+// carrying the matching -m flags, and this test reaches them through the
+// type-erased simd::make_wide_* factories like every other client.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "attack/pipeline.h"
+#include "bitstream/patcher.h"
+#include "campaign/campaign.h"
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "fpga/device.h"
+#include "fpga/system.h"
+#include "mapper/batch_lut_sim.h"
+#include "netlist/batch_sim.h"
+#include "runtime/probe_cache.h"
+#include "runtime/thread_pool.h"
+#include "simd/backend.h"
+#include "simd/lane_vec.h"
+#include "simd/transpose.h"
+#include "simd/wide.h"
+
+namespace sbm {
+namespace {
+
+using simd::Backend;
+
+constexpr snow3g::Iv kHostIv = {0xea024714, 0xad5c4d84, 0xdf1f9b25, 0x1c0bf45f};
+
+const fpga::System& shared_system() {
+  static const fpga::System sys = fpga::build_system();
+  return sys;
+}
+
+/// Wide backends this binary can actually run (compiled in AND supported by
+/// the host).  Empty on non-x86 or SBM_SIMD=OFF builds — the wide
+/// equivalence tests then pass vacuously, which is the intended degradation.
+std::vector<Backend> usable_wide_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : {Backend::kAvx2, Backend::kAvx512}) {
+    if (simd::compiled(b) && simd::host_supports(b)) out.push_back(b);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch rules
+
+TEST(SimdDispatch, BackendLanes) {
+  EXPECT_EQ(simd::backend_lanes(Backend::kScalar), 64u);
+  EXPECT_EQ(simd::backend_lanes(Backend::kAvx2), 256u);
+  EXPECT_EQ(simd::backend_lanes(Backend::kAvx512), 512u);
+  EXPECT_EQ(simd::kMaxLanes, 512u);
+}
+
+TEST(SimdDispatch, ParseBackendNames) {
+  EXPECT_EQ(simd::parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(simd::parse_backend("u64"), Backend::kScalar);
+  EXPECT_EQ(simd::parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(simd::parse_backend("avx512"), Backend::kAvx512);
+  EXPECT_EQ(simd::parse_backend("neon"), std::nullopt);
+  EXPECT_EQ(simd::parse_backend(""), std::nullopt);
+}
+
+TEST(SimdDispatch, ResolveBackendTruthTable) {
+  // The pure fallback rule: widest usable backend at or below the request,
+  // bottoming out at scalar, which is unconditionally usable.
+  for (const bool avx2 : {false, true}) {
+    for (const bool avx512 : {false, true}) {
+      EXPECT_EQ(simd::resolve_backend(Backend::kScalar, avx2, avx512), Backend::kScalar);
+      EXPECT_EQ(simd::resolve_backend(Backend::kAvx2, avx2, avx512),
+                avx2 ? Backend::kAvx2 : Backend::kScalar);
+    }
+  }
+  EXPECT_EQ(simd::resolve_backend(Backend::kAvx512, false, false), Backend::kScalar);
+  EXPECT_EQ(simd::resolve_backend(Backend::kAvx512, true, false), Backend::kAvx2);
+  EXPECT_EQ(simd::resolve_backend(Backend::kAvx512, false, true), Backend::kAvx512);
+  EXPECT_EQ(simd::resolve_backend(Backend::kAvx512, true, true), Backend::kAvx512);
+}
+
+TEST(SimdDispatch, BestFitBackendNeverWidensAndCoversSmallChunks) {
+  for (const Backend active : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    // Chunks a single u64 word can hold always take the scalar device.
+    for (const unsigned lanes : {1u, 7u, 63u, 64u}) {
+      EXPECT_EQ(simd::best_fit_backend(lanes, active), Backend::kScalar)
+          << lanes << " lanes, active " << simd::backend_name(active);
+    }
+    // Full-width chunks always keep the active backend.
+    EXPECT_EQ(simd::best_fit_backend(simd::backend_lanes(active), active), active);
+  }
+  // Mid-size chunks under an AVX-512 active backend drop to AVX2 when its
+  // kernels are available; otherwise they stay on the active backend.
+  const Backend mid = simd::best_fit_backend(100, Backend::kAvx512);
+  if (simd::compiled(Backend::kAvx2) && simd::host_supports(Backend::kAvx2)) {
+    EXPECT_EQ(mid, Backend::kAvx2);
+  } else {
+    EXPECT_EQ(mid, Backend::kAvx512);
+  }
+  EXPECT_EQ(simd::best_fit_backend(300, Backend::kAvx512), Backend::kAvx512);
+  EXPECT_EQ(simd::best_fit_backend(100, Backend::kAvx2), Backend::kAvx2);
+}
+
+TEST(SimdDispatch, SetActiveBackendFallsBackToUsable) {
+  simd::ScopedBackend outer(simd::active_backend());  // restore on exit
+  for (const Backend req : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    const Backend got = simd::set_active_backend(req);
+    EXPECT_LE(simd::backend_lanes(got), simd::backend_lanes(req));
+    EXPECT_TRUE(simd::compiled(got) && simd::host_supports(got));
+    EXPECT_EQ(simd::active_backend(), got);
+  }
+  EXPECT_EQ(simd::set_active_backend(Backend::kScalar), Backend::kScalar);
+}
+
+TEST(SimdDispatch, ScopedBackendRestores) {
+  const Backend before = simd::active_backend();
+  {
+    simd::ScopedBackend scoped(Backend::kScalar);
+    EXPECT_EQ(scoped.actual(), Backend::kScalar);
+    EXPECT_EQ(simd::active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(simd::active_backend(), before);
+}
+
+TEST(SimdDispatch, WideFactoriesDeclineScalarBackend) {
+  const fpga::System& sys = shared_system();
+  EXPECT_EQ(simd::make_wide_device(sys, Backend::kScalar), nullptr);
+  EXPECT_EQ(simd::make_wide_net_sim(sys.design.net, Backend::kScalar), nullptr);
+  EXPECT_EQ(simd::make_wide_lut_sim(sys.snapshot->tape, Backend::kScalar), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-vector algebra (LaneVec<2> only — see the header comment)
+
+using LV2 = simd::LaneVec<2>;
+using T2 = simd::lane_traits<LV2>;
+
+LV2 make_lv2(u64 w0, u64 w1) {
+  LV2 v = simd::zero<LV2>();
+  T2::word(v, 0) = w0;
+  T2::word(v, 1) = w1;
+  return v;
+}
+
+TEST(SimdLaneVec, ZeroOnesBroadcast) {
+  EXPECT_EQ(T2::word(simd::zero<LV2>(), 0), 0u);
+  EXPECT_EQ(T2::word(simd::zero<LV2>(), 1), 0u);
+  EXPECT_EQ(T2::word(simd::ones<LV2>(), 0), ~u64{0});
+  EXPECT_EQ(T2::word(simd::ones<LV2>(), 1), ~u64{0});
+  const LV2 b = simd::broadcast_word<LV2>(0x0123456789abcdefull);
+  EXPECT_EQ(T2::word(b, 0), 0x0123456789abcdefull);
+  EXPECT_EQ(T2::word(b, 1), 0x0123456789abcdefull);
+}
+
+TEST(SimdLaneVec, BitwiseOpsMatchPerWordU64) {
+  Rng rng(0x1a2e);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a0 = rng.next_u64(), a1 = rng.next_u64();
+    const u64 b0 = rng.next_u64(), b1 = rng.next_u64();
+    const u64 x0 = rng.next_u64(), x1 = rng.next_u64();
+    const LV2 a = make_lv2(a0, a1), b = make_lv2(b0, b1), x = make_lv2(x0, x1);
+    EXPECT_EQ(T2::word(a & b, 0), a0 & b0);
+    EXPECT_EQ(T2::word(a & b, 1), a1 & b1);
+    EXPECT_EQ(T2::word(a | b, 0), a0 | b0);
+    EXPECT_EQ(T2::word(a | b, 1), a1 | b1);
+    EXPECT_EQ(T2::word(a ^ b, 0), a0 ^ b0);
+    EXPECT_EQ(T2::word(a ^ b, 1), a1 ^ b1);
+    EXPECT_EQ(T2::word(~a, 0), ~a0);
+    EXPECT_EQ(T2::word(~a, 1), ~a1);
+    // mux picks b where x is set — the scalar u64 overload is the spec.
+    EXPECT_EQ(T2::word(simd::mux(a, b, x), 0), simd::mux(a0, b0, x0));
+    EXPECT_EQ(T2::word(simd::mux(a, b, x), 1), simd::mux(a1, b1, x1));
+    // mux_word broadcasts two shared table words across the selector lanes.
+    EXPECT_EQ(T2::word(simd::mux_word(a0, b0, x), 0), simd::mux(a0, b0, x0));
+    EXPECT_EQ(T2::word(simd::mux_word(a0, b0, x), 1), simd::mux(a0, b0, x1));
+  }
+}
+
+TEST(SimdLaneVec, LaneAccessors) {
+  LV2 v = simd::zero<LV2>();
+  simd::set_lane(v, 0, true);
+  simd::set_lane(v, 70, true);
+  EXPECT_TRUE(simd::get_lane(v, 0));
+  EXPECT_TRUE(simd::get_lane(v, 70));
+  EXPECT_FALSE(simd::get_lane(v, 1));
+  EXPECT_FALSE(simd::get_lane(v, 69));
+  simd::set_lane(v, 70, false);
+  EXPECT_FALSE(simd::get_lane(v, 70));
+  simd::or_lane(v, 127);
+  EXPECT_TRUE(simd::get_lane(v, 127));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-matrix transpose (wide BRAM address gather/scatter)
+
+TEST(SimdTranspose, Transpose32MatchesNaive) {
+  Rng rng(0x7a05);
+  for (int trial = 0; trial < 50; ++trial) {
+    u32 a[32];
+    for (u32& w : a) w = static_cast<u32>(rng.next_u64());
+    u32 t[32];
+    std::copy(std::begin(a), std::end(a), std::begin(t));
+    simd::transpose32(t);
+    for (unsigned i = 0; i < 32; ++i) {
+      for (unsigned j = 0; j < 32; ++j) {
+        EXPECT_EQ((t[i] >> j) & 1, (a[j] >> i) & 1) << "bit (" << i << "," << j << ")";
+      }
+    }
+    // Transposing is an involution.
+    simd::transpose32(t);
+    for (unsigned i = 0; i < 32; ++i) EXPECT_EQ(t[i], a[i]);
+  }
+}
+
+TEST(SimdTranspose, GatherScatterRoundTripAndNaive) {
+  Rng rng(0x6a7e);
+  for (int trial = 0; trial < 50; ++trial) {
+    u64 in[32];
+    for (u64& w : in) w = rng.next_u64();
+    u32 addr[64];
+    simd::gather_addresses(in, addr);
+    // addr[lane] bit b == input vector b's bit for that lane.
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      u32 expect = 0;
+      for (unsigned b = 0; b < 32; ++b) expect |= static_cast<u32>((in[b] >> lane) & 1) << b;
+      EXPECT_EQ(addr[lane], expect) << "lane " << lane;
+    }
+    u64 out[32];
+    simd::scatter_outputs(addr, out);
+    for (unsigned b = 0; b < 32; ++b) EXPECT_EQ(out[b], in[b]) << "vector " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat-map layout
+
+TEST(FlatMap, MatchesUnorderedMapOnRandomWorkload) {
+  Rng rng(0xf1a7);
+  FlatMap<u64, u32, U64MixHash> map;
+  std::unordered_map<u64, u32> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const u64 key = rng.next_u64() % 4096;  // force plenty of repeats
+    if (rng.next_u64() % 2 == 0) {
+      const u32 value = static_cast<u32>(rng.next_u64());
+      const auto [slot, inserted] = map.try_emplace(key, value);
+      const auto [it, ref_inserted] = ref.try_emplace(key, value);
+      ASSERT_EQ(inserted, ref_inserted);
+      ASSERT_EQ(*slot, it->second);
+    } else {
+      const u32* found = map.find(key);
+      const auto it = ref.find(key);
+      ASSERT_EQ(found != nullptr, it != ref.end());
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), ref.size());
+  size_t visited = 0;
+  map.for_each([&](u64 key, u32 value) {
+    ++visited;
+    const auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, ClearKeepsWorkingAndEmptyFindIsSafe) {
+  FlatMap<u64, u32, U64MixHash> map;
+  EXPECT_EQ(map.find(42), nullptr);  // no table allocated yet
+  for (u64 k = 0; k < 100; ++k) map.try_emplace(k, static_cast<u32>(k));
+  EXPECT_EQ(map.size(), 100u);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  for (u64 k = 50; k < 80; ++k) map.try_emplace(k, static_cast<u32>(k * 3));
+  EXPECT_EQ(map.size(), 30u);
+  ASSERT_NE(map.find(60), nullptr);
+  EXPECT_EQ(*map.find(60), 180u);
+  EXPECT_EQ(map.find(10), nullptr);
+}
+
+TEST(FlatMap, SurvivesDegenerateHash) {
+  // Everything lands in one bucket: linear probing must still find each key.
+  struct OneBucket {
+    size_t operator()(u64) const { return 7; }
+  };
+  FlatMap<u64, u64, OneBucket> map;
+  for (u64 k = 0; k < 200; ++k) map.try_emplace(k, k + 1);
+  for (u64 k = 0; k < 200; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k + 1);
+  }
+  EXPECT_EQ(map.find(777), nullptr);
+}
+
+TEST(ProbeCacheFlatMap, AccountingParityAgainstReferenceMap) {
+  // Randomized lookup/store traffic mirroring the pipeline (lookup, then
+  // store on miss), checked step by step against an unordered_map driven
+  // with the very same KeyHash.  Hits, misses, entries and every returned
+  // value must agree exactly — the cache-hit accounting feeds the paper's
+  // cost metric, so "roughly right" is not acceptable.
+  Rng rng(0xcac4e);
+  runtime::ProbeCache cache(/*shards=*/4);
+  std::unordered_map<runtime::ProbeKey, runtime::ProbeResult, runtime::ProbeCache::KeyHash> ref;
+  size_t expect_hits = 0, expect_misses = 0;
+  for (int op = 0; op < 5000; ++op) {
+    std::vector<u8> bytes((rng.next_u64() % 96) + 1);
+    // Small alphabet + small sizes: plenty of repeat probes, like replayed
+    // verification patches.
+    for (u8& b : bytes) b = static_cast<u8>(rng.next_u64() % 4);
+    const size_t words = 1 + rng.next_u64() % 3;
+    const runtime::ProbeKey key = runtime::make_probe_key(bytes, words);
+
+    const auto cached = cache.lookup(key);
+    const auto it = ref.find(key);
+    if (it == ref.end()) {
+      ++expect_misses;
+      ASSERT_FALSE(cached.has_value());
+      runtime::ProbeResult result;
+      if (rng.next_u64() % 5 != 0) {  // cache rejections too
+        result = std::vector<u32>(words, static_cast<u32>(rng.next_u64()));
+      }
+      cache.store(key, result);
+      ref.emplace(key, std::move(result));
+    } else {
+      ++expect_hits;
+      ASSERT_TRUE(cached.has_value());
+      ASSERT_EQ(*cached, it->second);
+    }
+    ASSERT_EQ(cache.hits(), expect_hits);
+    ASSERT_EQ(cache.misses(), expect_misses);
+  }
+  EXPECT_EQ(cache.entries(), ref.size());
+  EXPECT_GT(expect_hits, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wide-simulator differentials against the scalar u64 reference
+
+struct LaneVector {
+  snow3g::Key key{};
+  snow3g::Iv iv{};
+  size_t lut = 0;  // mapped-LUT index whose table this lane overrides
+  u64 bits = 0;    // override function bits
+};
+
+std::vector<LaneVector> random_lanes(Rng& rng, size_t count, size_t lut_count) {
+  std::vector<LaneVector> lanes(count);
+  for (LaneVector& l : lanes) {
+    l.key = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    l.iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
+    l.lut = rng.next_u64() % lut_count;
+    l.bits = rng.next_u64();
+  }
+  return lanes;
+}
+
+/// Drives one keystream transaction on any batch simulator exposing the
+/// common lane API (BatchLutSimulator, BatchSimulator, WideLutSim,
+/// WideNetSim) and returns `words` z-words per lane.
+template <typename Sim>
+std::vector<std::vector<u32>> drive_lanes(const fpga::System& sys, Sim& sim,
+                                          std::span<const LaneVector> lanes, size_t words) {
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      sim.set_input_word_lane(sys.design.key[i], static_cast<unsigned>(l), lanes[l].key[i]);
+      sim.set_input_word_lane(sys.design.iv[i], static_cast<unsigned>(l), lanes[l].iv[i]);
+    }
+  }
+  auto drive = [&](bool load, bool init, bool gen) {
+    sim.set_input(sys.design.load, load);
+    sim.set_input(sys.design.init, init);
+    sim.set_input(sys.design.gen, gen);
+  };
+  drive(false, false, false);
+  sim.step();
+  drive(true, false, false);
+  sim.step();
+  for (int round = 0; round < 32; ++round) {
+    drive(false, true, false);
+    sim.step();
+  }
+  drive(false, false, true);
+  sim.step();
+  std::vector<std::vector<u32>> z(lanes.size());
+  for (size_t t = 0; t < words; ++t) {
+    drive(false, false, true);
+    sim.settle();
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      z[l].push_back(sim.read_word_lane(sys.design.z, static_cast<unsigned>(l)));
+    }
+    sim.clock();
+  }
+  return z;
+}
+
+/// Reference outputs via the equivalence-tested u64 BatchLutSimulator,
+/// 64 lanes at a time.
+std::vector<std::vector<u32>> u64_lut_reference(const fpga::System& sys,
+                                                std::span<const LaneVector> lanes,
+                                                size_t words) {
+  std::vector<std::vector<u32>> out;
+  for (size_t base = 0; base < lanes.size(); base += 64) {
+    const auto chunk = lanes.subspan(base, std::min<size_t>(64, lanes.size() - base));
+    mapper::BatchLutSimulator sim(sys.snapshot->tape);
+    sim.set_tables(std::span<const u64>(sys.snapshot->golden_tables));
+    for (size_t l = 0; l < chunk.size(); ++l) {
+      sim.set_lut_table(chunk[l].lut, static_cast<unsigned>(l), chunk[l].bits);
+    }
+    auto z = drive_lanes(sys, sim, chunk, words);
+    out.insert(out.end(), z.begin(), z.end());
+  }
+  return out;
+}
+
+TEST(SimdWideEquivalence, LutSimMatchesU64ReferenceOnTenThousandVectors) {
+  const fpga::System& sys = shared_system();
+  const size_t lut_count = sys.snapshot->golden_luts.luts.size();
+  for (const Backend backend : usable_wide_backends()) {
+    SCOPED_TRACE(simd::backend_name(backend));
+    const unsigned width = simd::backend_lanes(backend);
+    Rng rng(0x10c0 + static_cast<u64>(backend));
+    size_t vectors = 0;
+    while (vectors < 10000) {
+      const auto lanes = random_lanes(rng, width, lut_count);
+      auto wide = simd::make_wide_lut_sim(sys.snapshot->tape, backend);
+      ASSERT_NE(wide, nullptr);
+      ASSERT_EQ(wide->lanes(), width);
+      wide->set_tables(sys.snapshot->golden_tables);
+      for (size_t l = 0; l < lanes.size(); ++l) {
+        wide->set_lut_table(lanes[l].lut, static_cast<unsigned>(l), lanes[l].bits);
+      }
+      const auto got = drive_lanes(sys, *wide, lanes, /*words=*/2);
+      const auto expect = u64_lut_reference(sys, lanes, /*words=*/2);
+      for (size_t l = 0; l < lanes.size(); ++l) {
+        ASSERT_EQ(got[l], expect[l]) << "lane " << l << " of " << width;
+      }
+      vectors += width;
+    }
+  }
+}
+
+TEST(SimdWideEquivalence, NetSimMatchesU64Reference) {
+  const fpga::System& sys = shared_system();
+  for (const Backend backend : usable_wide_backends()) {
+    SCOPED_TRACE(simd::backend_name(backend));
+    const unsigned width = simd::backend_lanes(backend);
+    Rng rng(0x2e75 + static_cast<u64>(backend));
+    // No LUT overrides here: the gate-level netlist exercises the BRAM
+    // transpose path and the raw op kernels.
+    auto lanes = random_lanes(rng, width, /*lut_count=*/1);
+    auto wide = simd::make_wide_net_sim(sys.design.net, backend);
+    ASSERT_NE(wide, nullptr);
+    const auto got = drive_lanes(sys, *wide, lanes, /*words=*/3);
+    std::vector<std::vector<u32>> expect;
+    for (size_t base = 0; base < lanes.size(); base += 64) {
+      const auto chunk =
+          std::span<const LaneVector>(lanes).subspan(base, std::min<size_t>(64, width - base));
+      netlist::BatchSimulator sim(sys.design.net);
+      auto z = drive_lanes(sys, sim, chunk, /*words=*/3);
+      expect.insert(expect.end(), z.begin(), z.end());
+    }
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      ASSERT_EQ(got[l], expect[l]) << "lane " << l;
+    }
+  }
+}
+
+TEST(SimdWideEquivalence, WideDeviceMatchesScalarDeviceIncludingRejections) {
+  const fpga::System& sys = shared_system();
+  for (const Backend backend : usable_wide_backends()) {
+    SCOPED_TRACE(simd::backend_name(backend));
+    const unsigned width = simd::backend_lanes(backend);
+    Rng rng(0xd331 + static_cast<u64>(backend));
+    std::vector<u8> nocrc = sys.golden.bytes;
+    bitstream::disable_crc(nocrc);
+    std::vector<std::vector<u8>> candidates;
+    for (unsigned i = 0; i < width; ++i) {
+      if (i % 17 == 3) {  // frame edit under an armed CRC: must reject
+        std::vector<u8> bad = sys.golden.bytes;
+        bad[sys.golden.layout.fdri_byte_offset + (i % 7)] ^= 0x5a;
+        candidates.push_back(std::move(bad));
+      } else if (i % 17 == 9) {
+        candidates.push_back(sys.golden.bytes);  // pristine golden
+      } else {
+        std::vector<u8> bytes = nocrc;
+        const size_t site = rng.next_u64() % sys.placed.phys.size();
+        bitstream::write_lut_init(bytes, sys.golden.layout.site_byte_index(site),
+                                  bitstream::Layout::chunk_stride(),
+                                  bitstream::chunk_order(sys.placed.slice_of(site)),
+                                  rng.next_u64());
+        candidates.push_back(std::move(bytes));
+      }
+    }
+    auto dev = simd::make_wide_device(sys, backend);
+    ASSERT_NE(dev, nullptr);
+    ASSERT_EQ(dev->lanes(), width);
+    std::vector<bool> accepted;
+    for (unsigned l = 0; l < width; ++l) {
+      accepted.push_back(dev->configure_lane(l, candidates[l]));
+    }
+    const auto z = dev->keystream(kHostIv, /*n=*/4, width);
+    ASSERT_EQ(z.size(), width);
+    for (unsigned l = 0; l < width; ++l) {
+      fpga::Device scalar = sys.make_device();
+      const bool ok = scalar.configure(candidates[l]);
+      ASSERT_EQ(accepted[l], ok) << "lane " << l;
+      if (ok) {
+        ASSERT_TRUE(z[l].has_value()) << "lane " << l;
+        EXPECT_EQ(*z[l], scalar.keystream(kHostIv, 4)) << "lane " << l;
+      } else {
+        EXPECT_FALSE(z[l].has_value()) << "lane " << l;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle batches: ragged widths, every backend, exact run accounting
+
+TEST(SimdOracle, RaggedWidthsBitIdenticalAcrossBackends) {
+  const fpga::System& sys = shared_system();
+  Rng rng(0x0dd5);
+  std::vector<u8> nocrc = sys.golden.bytes;
+  bitstream::disable_crc(nocrc);
+  constexpr size_t kProbes = 515;  // one full 512 chunk + a 3-lane tail
+  std::vector<std::vector<u8>> probes;
+  probes.reserve(kProbes);
+  for (size_t i = 0; i < kProbes; ++i) {
+    if (i % 13 == 5) {  // sprinkle rejected candidates through the batch
+      std::vector<u8> bad = sys.golden.bytes;
+      bad[sys.golden.layout.fdri_byte_offset + (i % 11)] ^= 0x5a;
+      probes.push_back(std::move(bad));
+    } else {
+      std::vector<u8> bytes = nocrc;
+      const size_t site = rng.next_u64() % sys.placed.phys.size();
+      bitstream::write_lut_init(bytes, sys.golden.layout.site_byte_index(site),
+                                bitstream::Layout::chunk_stride(),
+                                bitstream::chunk_order(sys.placed.slice_of(site)),
+                                rng.next_u64());
+      probes.push_back(std::move(bytes));
+    }
+  }
+
+  // Reference: the scalar u64 backend at its native width (itself proven
+  // against one-at-a-time runs by test_batch_attack).
+  std::vector<runtime::ProbeOutcome> ref;
+  {
+    simd::ScopedBackend scoped(Backend::kScalar);
+    attack::DeviceOracle oracle(sys, kHostIv, nullptr, 64);
+    ref = oracle.run_batch(probes, /*words=*/4);
+    EXPECT_EQ(oracle.runs(), kProbes);
+  }
+
+  std::vector<Backend> backends = {Backend::kScalar};
+  for (const Backend b : usable_wide_backends()) backends.push_back(b);
+  for (const Backend backend : backends) {
+    for (const unsigned width : {1u, 7u, 63u, 64u, 65u, 255u, 256u, 511u, 512u}) {
+      // Every width gets full and ragged chunks: n = width + 3 (clamped).
+      const size_t n = std::min<size_t>(kProbes, width + 3);
+      SCOPED_TRACE(std::string(simd::backend_name(backend)) + ", width " +
+                   std::to_string(width) + ", " + std::to_string(n) + " probes");
+      simd::ScopedBackend scoped(backend);
+      attack::DeviceOracle oracle(sys, kHostIv, nullptr, width);
+      const auto got =
+          oracle.run_batch(std::span<const std::vector<u8>>(probes).first(n), /*words=*/4);
+      ASSERT_EQ(got.size(), n);
+      EXPECT_EQ(oracle.runs(), n);  // every lane is one paper-cost reconfiguration
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], ref[i]) << "probe " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full attack and campaign invariance across backends and thread counts
+
+attack::AttackResult run_attack(runtime::ThreadPool* pool) {
+  const fpga::System& sys = shared_system();
+  attack::DeviceOracle oracle(sys, kHostIv, pool);
+  runtime::ProbeCache cache;
+  attack::PipelineConfig cfg;
+  cfg.iv = kHostIv;
+  cfg.cache = &cache;
+  cfg.find.pool = pool;
+  attack::Attack attack(oracle, sys.golden.bytes, cfg);
+  return attack.execute();
+}
+
+TEST(SimdAttack, FullAttackInvariantAcrossBackendsAndThreads) {
+  attack::AttackResult ref;
+  {
+    simd::ScopedBackend scoped(Backend::kScalar);
+    ref = run_attack(nullptr);
+  }
+  ASSERT_TRUE(ref.success) << ref.failure;
+  ASSERT_TRUE(ref.key_confirmed);
+  EXPECT_EQ(ref.probe_calls, ref.oracle_runs + ref.cache_hits);
+
+  runtime::ThreadPool pool(8);
+  std::vector<Backend> backends = {Backend::kScalar};
+  for (const Backend b : usable_wide_backends()) backends.push_back(b);
+  for (const Backend backend : backends) {
+    for (runtime::ThreadPool* p : {static_cast<runtime::ThreadPool*>(nullptr), &pool}) {
+      SCOPED_TRACE(std::string(simd::backend_name(backend)) +
+                   (p != nullptr ? ", 8 threads" : ", serial"));
+      simd::ScopedBackend scoped(backend);
+      const attack::AttackResult res = run_attack(p);
+      ASSERT_TRUE(res.success) << res.failure;
+      EXPECT_EQ(res.faulty_keystream, ref.faulty_keystream);
+      EXPECT_EQ(res.secrets.key, ref.secrets.key);
+      EXPECT_EQ(res.recovered_state, ref.recovered_state);
+      EXPECT_EQ(res.oracle_runs, ref.oracle_runs);
+      EXPECT_EQ(res.cache_hits, ref.cache_hits);
+      EXPECT_EQ(res.probe_calls, ref.probe_calls);
+      EXPECT_EQ(res.phase_runs, ref.phase_runs);
+      EXPECT_EQ(res.log, ref.log);
+    }
+  }
+}
+
+TEST(SimdAttack, CampaignFingerprintInvariantAcrossBackendsAndThreads) {
+  campaign::CampaignOptions opt;
+  opt.trials = 2;
+  opt.seed = 0x51d5eed;
+  opt.threads = 1;
+  u64 ref_fingerprint = 0;
+  size_t ref_runs = 0;
+  {
+    simd::ScopedBackend scoped(Backend::kScalar);
+    const campaign::CampaignReport ref = campaign::run_campaign(opt);
+    ASSERT_TRUE(ref.all_expected());
+    ref_fingerprint = ref.fingerprint();
+    ref_runs = ref.total_oracle_runs;
+  }
+
+  std::vector<Backend> backends = {Backend::kScalar};
+  for (const Backend b : usable_wide_backends()) backends.push_back(b);
+  for (const Backend backend : backends) {
+    for (const unsigned threads : {1u, 8u}) {
+      if (backend == Backend::kScalar && threads == 1) continue;  // the reference
+      SCOPED_TRACE(std::string(simd::backend_name(backend)) + ", " +
+                   std::to_string(threads) + " threads");
+      simd::ScopedBackend scoped(backend);
+      campaign::CampaignOptions vopt = opt;
+      vopt.threads = threads;
+      const campaign::CampaignReport rep = campaign::run_campaign(vopt);
+      EXPECT_EQ(rep.fingerprint(), ref_fingerprint);
+      EXPECT_EQ(rep.total_oracle_runs, ref_runs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbm
