@@ -41,6 +41,10 @@ void usage(const char* argv0) {
       "  --noise PROFILE      unreliable-hardware model: none|mild|harsh, optional @seed\n"
       "                       suffix (e.g. mild@0x123); probes are then confirmed by\n"
       "                       agreement voting, overhead reported per trial\n"
+      "  --controller KIND    probe confirmation controller: static|adaptive (default\n"
+      "                       static); adaptive stops each probe as soon as the\n"
+      "                       wrong-accept odds clear the bound — same logical results,\n"
+      "                       roughly half the physical runs on a mildly noisy board\n"
       "  --checkpoint FILE    persist completed trials to FILE after each finish\n"
       "  --resume             skip trials FILE already covers (same campaign only)\n"
       "  --json FILE          also write the JSON report to FILE\n"
@@ -111,6 +115,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.noise = *profile;
+    } else if (arg == "--controller") {
+      const char* spec = next();
+      const auto kind = runtime::parse_controller_kind(spec);
+      if (!kind) {
+        std::fprintf(stderr, "unknown controller '%s' (want static|adaptive)\n", spec);
+        return 2;
+      }
+      opt.controller = *kind;
     } else if (arg == "--checkpoint") {
       opt.checkpoint_path = next();
     } else if (arg == "--resume") {

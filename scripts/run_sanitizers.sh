@@ -42,7 +42,7 @@ fi
 # fair scheduler — the most thread-shaped code in the repo) — where a
 # sanitizer finding is most likely and the runs are cheap enough for CI.
 # The full run takes the whole tier-1 label.
-smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace|Orchestrator|ServiceProtocol|FairScheduler|JobStore|ServiceSocket|ServiceRestart|ServiceMetricsParity|SimdDispatch|SimdLaneVec|SimdTranspose|FlatMap|ProbeCacheFlatMap)'
+smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace|Orchestrator|ServiceProtocol|FairScheduler|JobStore|ServiceSocket|ServiceRestart|ServiceMetricsParity|SimdDispatch|SimdLaneVec|SimdTranspose|FlatMap|ProbeCacheFlatMap|AdaptiveController|StaticController|AdaptivePipeline|AdaptiveCampaign|ControllerConfig)'
 
 status=0
 for san in "${sanitizers[@]}"; do
@@ -51,7 +51,7 @@ for san in "${sanitizers[@]}"; do
   cmake -B "$dir" -S . -DSBM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   if [ "$smoke" -eq 1 ]; then
     cmake --build "$dir" -j --target test_runtime test_faultsim test_obs \
-      test_orchestrator test_service test_simd
+      test_orchestrator test_service test_simd test_probe_controller
   else
     cmake --build "$dir" -j
   fi

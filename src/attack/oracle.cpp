@@ -19,6 +19,14 @@ obs::Counter& physical_run_counter() {
   return c;
 }
 
+/// Probes that executed one-at-a-time through run_one while batching was in
+/// play.  Zero whenever a batch device is available: the noisy bench asserts
+/// on this to prove no re-read ever falls off the wide path as a straggler.
+obs::Counter& singleton_run_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("oracle.singleton_runs");
+  return c;
+}
+
 }  // namespace
 
 ProbeOutcome DeviceOracle::run_one(std::span<const u8> bitstream, size_t words) const {
@@ -49,6 +57,7 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
     // Pure scalar reference path (also the fallback when the system carries
     // no snapshot, e.g. hand-built test fixtures).
     obs::Span span("oracle", "batch_scalar", "probes", n);
+    singleton_run_counter().add(n);
     for (size_t i = 0; i < n; ++i) out[i] = run_one(bitstreams[i], words);
   } else {
     const size_t chunks = runtime::chunk_count(n, width);
@@ -59,11 +68,10 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
           const unsigned lanes = static_cast<unsigned>(std::min<size_t>(width, n - begin));
           obs::Span span("oracle", "batch_chunk", "lanes", lanes, "begin", begin);
           lanes_hist.observe(lanes);
-          if (lanes == 1) {
-            out[begin] = run_one(bitstreams[begin], words);
-            return;
-          }
           if (lanes <= fpga::BatchDevice::kLanes) {
+            // One-lane chunks take this path too: a single-lane BatchDevice
+            // produces the identical outcome (nullopt lane -> kRejected) and
+            // keeps straggler re-reads off the scalar singleton path.
             // A ragged tail (or a narrow width) fits the scalar u64 device.
             fpga::BatchDevice dev = system_.make_batch_device();
             for (unsigned lane = 0; lane < lanes; ++lane) {
@@ -79,6 +87,7 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
           if (dev == nullptr) {
             // Unreachable once width was clamped to the resolved backend;
             // kept as a safe serial fallback rather than an assert.
+            singleton_run_counter().add(lanes);
             for (unsigned lane = 0; lane < lanes; ++lane) {
               out[begin + lane] = run_one(bitstreams[begin + lane], words);
             }
@@ -99,6 +108,11 @@ std::vector<ProbeOutcome> DeviceOracle::run_batch(
   runs_ += n;
   physical_run_counter().add(n);
   return out;
+}
+
+unsigned DeviceOracle::batch_lanes() const {
+  if (system_.snapshot == nullptr) return 1;  // scalar fallback path
+  return std::clamp(batch_width_, 1u, simd::backend_lanes(simd::active_backend()));
 }
 
 }  // namespace sbm::attack

@@ -45,6 +45,12 @@ class Oracle {
   /// paper's per-logical-probe cost metric.
   size_t runs() const { return runs_; }
 
+  /// Lanes one run_batch chunk can execute together — the scheduling grain
+  /// the attack layer packs confirmation re-reads into (a re-read riding a
+  /// partially-filled chunk is wall-clock free).  1 means the oracle runs
+  /// probes one at a time.
+  virtual unsigned batch_lanes() const { return 1; }
+
  protected:
   size_t runs_ = 0;
 };
@@ -67,6 +73,7 @@ class DeviceOracle : public Oracle {
   runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override;
   std::vector<runtime::ProbeOutcome> run_batch(
       std::span<const std::vector<u8>> bitstreams, size_t words) override;
+  unsigned batch_lanes() const override;
 
  private:
   runtime::ProbeOutcome run_one(std::span<const u8> bitstream, size_t words) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -46,6 +47,7 @@ bool cacheable(const ProbeOutcome& out) {
 Attack::Attack(Oracle& oracle, std::span<const u8> golden_bitstream, PipelineConfig config)
     : oracle_(oracle),
       config_(config),
+      controller_(runtime::make_controller(config.controller, config.retry, config.adaptive)),
       golden_(golden_bitstream.begin(), golden_bitstream.end()) {}
 
 void Attack::note(std::string message) {
@@ -54,91 +56,85 @@ void Attack::note(std::string message) {
 }
 
 std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>> batch) {
-  const runtime::RetryPolicy& policy = config_.retry;
-  auto raw = oracle_.run_batch(batch, config_.words);
-  if (policy.single_shot()) return raw;  // noise-free fast path, zero overhead
+  runtime::ProbeController& ctl = *controller_;
+  if (ctl.single_shot()) {
+    return oracle_.run_batch(batch, config_.words);  // noise-free fast path
+  }
 
   const size_t n = batch.size();
   static obs::Counter& retry_rounds =
       obs::MetricsRegistry::global().counter("retry.rounds");
-  std::vector<ProbeOutcome> out(n);
-  struct Vote {
-    unsigned errors = 0;   // consecutive error attempts (reset on any value)
-    unsigned reads = 0;    // value reads spent so far
-    unsigned rejects = 0;  // rejected attempts seen so far
-    bool last_was_error = false;
-    bool settled = false;
-    std::vector<std::pair<std::vector<u32>, unsigned>> tally;  // value -> votes
-  };
-  std::vector<Vote> votes(n);
+  ctl.begin(n);
 
-  auto absorb = [&](size_t i, const ProbeOutcome& r) {
-    Vote& v = votes[i];
-    if (r.ok()) {
-      // A value read: the board is alive, so the consecutive-error count
-      // resets; confirmation requires `confirm` bit-identical reads (two
-      // independently corrupted captures essentially never coincide).
-      v.errors = 0;
-      v.last_was_error = false;
-      ++v.reads;
-      auto it = std::find_if(v.tally.begin(), v.tally.end(),
-                             [&](const auto& e) { return e.first == *r; });
-      if (it == v.tally.end()) {
-        if (!v.tally.empty()) ++stats_.corruptions;  // disagreeing read
-        v.tally.emplace_back(*r, 0u);
-        it = std::prev(v.tally.end());
-      }
-      if (++it->second >= policy.confirm) {
-        v.settled = true;
-        stats_.transient_rejections += v.rejects;
-        out[i] = ProbeOutcome(it->first);
-      } else if (v.reads >= policy.max_reads) {
-        // The board answers but never twice alike: unconfirmable.
-        v.settled = true;
-        out[i] = ProbeError::kCorrupt;
-      }
-      return;
-    }
-    v.last_was_error = true;
-    if (r.error() == ProbeError::kCorrupt) ++stats_.corruptions;
-    if (r.error() == ProbeError::kRejected) ++v.rejects;
-    if (r.error() == ProbeError::kDead || ++v.errors >= policy.max_attempts) {
-      v.settled = true;
-      // A rejection that persisted through every attempt with no value read
-      // in between is the genuine answer; anything else that exhausted the
-      // budget means the board is gone.
-      out[i] = (v.reads == 0 && v.rejects > 0 && r.error() == ProbeError::kRejected)
-                   ? ProbeError::kRejected
-                   : ProbeError::kDead;
-    }
+  // FIFO refill scheduler.  The queue holds one entry per demanded physical
+  // read; each oracle call drains the largest chunk-aligned prefix (the whole
+  // tail when less than one chunk remains), so re-reads of unsettled probes
+  // pack into full bit-sliced chunks together with other probes' pending
+  // reads instead of re-running as straggler singletons.  Because entries are
+  // enqueued in absorb order (= issue order) and drained FIFO, the global
+  // physical read sequence — and with it every scripted-fault index map — is
+  // identical to the historical initial-batch + re-issue-rounds loop whenever
+  // the controller demands one read at a time (the static controller always
+  // does).
+  std::vector<unsigned> pending(n, 0);   // queued-but-unabsorbed reads per slot
+  std::vector<char> issued_any(n, 0);    // first (logical) read already issued
+  std::deque<size_t> queue;
+  auto enqueue_demand = [&](size_t i) {
+    const unsigned want = std::max(1u, ctl.reads_wanted(i));
+    pending[i] = want;
+    for (unsigned k = 0; k < want; ++k) queue.push_back(i);
   };
+  for (size_t i = 0; i < n; ++i) enqueue_demand(i);
 
-  for (size_t i = 0; i < n; ++i) absorb(i, raw[i]);
-  while (true) {
-    std::vector<size_t> live;
-    for (size_t i = 0; i < n; ++i) {
-      if (!votes[i].settled) live.push_back(i);
-    }
-    if (live.empty()) break;
-    retry_rounds.add();
-    if (obs::trace_enabled()) {
-      obs::Tracer::global().instant("retry", "confirm_round", {{"unsettled", live.size()}});
-    }
-    std::vector<std::vector<u8>> round;
-    round.reserve(live.size());
-    for (const size_t i : live) {
-      round.push_back(batch[i]);
-      // Physical-overhead accounting at issue time: a re-issue after an
-      // error is a retry, a re-read of a value under confirmation is a vote.
-      if (votes[i].last_was_error) {
+  const size_t lanes = std::max(1u, oracle_.batch_lanes());
+  std::vector<size_t> slots;  // issue plan of the current oracle call
+  std::vector<std::vector<u8>> round;
+  while (!queue.empty()) {
+    const size_t take =
+        queue.size() >= lanes ? (queue.size() / lanes) * lanes : queue.size();
+    slots.clear();
+    round.clear();
+    size_t reissues = 0;
+    for (size_t t = 0; t < take; ++t) {
+      const size_t i = queue.front();
+      queue.pop_front();
+      --pending[i];
+      if (ctl.settled(i)) continue;  // settled mid-bundle: drop leftover demand
+      if (!issued_any[i]) {
+        issued_any[i] = 1;  // the logical read the paper's metric pays for
+      } else if (ctl.retrying(i)) {
+        // Physical-overhead accounting at issue time: a re-issue after an
+        // error is a retry, a re-read of a value under confirmation is a vote.
         ++stats_.retry_runs;
+        ++reissues;
       } else {
         ++stats_.vote_runs;
+        ++reissues;
+      }
+      slots.push_back(i);
+      round.push_back(batch[i]);
+    }
+    if (round.empty()) continue;
+    if (reissues > 0) {
+      retry_rounds.add();
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("retry", "confirm_round", {{"unsettled", reissues}});
       }
     }
     const auto answers = oracle_.run_batch(round, config_.words);
-    for (size_t k = 0; k < live.size(); ++k) absorb(live[k], answers[k]);
+    for (size_t k = 0; k < slots.size(); ++k) {
+      const size_t i = slots[k];
+      // A bundle-mate earlier in this call may have settled the slot; the
+      // extra physical read is already spent and accounted, its answer is
+      // simply not needed.
+      if (ctl.settled(i)) continue;
+      ctl.absorb(i, answers[k], stats_);
+      if (pending[i] == 0 && !ctl.settled(i)) enqueue_demand(i);
+    }
   }
+
+  std::vector<ProbeOutcome> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = ctl.take(i);
   return out;
 }
 

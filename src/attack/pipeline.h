@@ -40,6 +40,7 @@
 
 #include "attack/findlut.h"
 #include "attack/oracle.h"
+#include "runtime/probe_controller.h"
 #include "runtime/retry.h"
 #include "snow3g/reverse.h"
 
@@ -73,6 +74,14 @@ struct PipelineConfig {
   /// overhead, byte-identical to the pre-fault-model pipeline); use
   /// runtime::RetryPolicy::voting() against flaky hardware.
   runtime::RetryPolicy retry;
+  /// Confirmation controller (DESIGN.md §4j).  kStatic runs `retry` as the
+  /// classic r-repetition vote; kAdaptive replaces it with the sequential
+  /// test configured by `adaptive` (stops at 2 agreeing reads on a
+  /// mildly-noisy board instead of always paying for `confirm`).
+  runtime::ControllerKind controller = runtime::ControllerKind::kStatic;
+  /// Tuning for the adaptive controller; ignored by kStatic.  Seed it from
+  /// a known noise profile with faultsim::adaptive_config_for().
+  runtime::AdaptiveConfig adaptive;
   bool verbose = false;
 };
 
@@ -196,10 +205,14 @@ class Attack {
   /// logical probe (one unit of the paper's cost metric), with retries and
   /// votes tracked separately.
   std::vector<runtime::ProbeOutcome> probe_batch(std::span<const std::vector<u8>> batch);
-  /// Confirmed execution of a batch of reads against the oracle: bounded
-  /// retry of transients, r-repetition agreement voting per the policy.
-  /// Settled outcomes are a value, kRejected (persistent), kCorrupt
-  /// (unconfirmable within the vote budget) or kDead.
+  /// Confirmed execution of a batch of reads against the oracle, driven by
+  /// the configured ProbeController (DESIGN.md §4j): the controller decides
+  /// per probe when its outcome is settled; this scheduler packs every
+  /// demanded read — first reads, retries and confirmation votes alike —
+  /// into full oracle batch chunks (FIFO refill: an unsettled probe's
+  /// re-read rides the next chunk alongside other probes' first reads
+  /// instead of re-running as a straggler).  Settled outcomes are a value,
+  /// kRejected (persistent), kCorrupt (unconfirmable) or kDead.
   std::vector<runtime::ProbeOutcome> confirm_batch(std::span<const std::vector<u8>> batch);
   /// Latches the first irrecoverable error and stores confirmed outcomes in
   /// the cache (poisoning guard: only values/persistent rejections enter).
@@ -229,6 +242,11 @@ class Attack {
 
   Oracle& oracle_;
   PipelineConfig config_;
+  /// Per-Attack confirmation controller: its state (including the adaptive
+  /// noise estimate) is instance-local and mutated only on the confirm_batch
+  /// calling thread, keeping controller decisions a pure function of the
+  /// read sequence for any pool size.
+  std::unique_ptr<runtime::ProbeController> controller_;
   size_t cache_hits_ = 0;
   size_t probe_calls_ = 0;
   /// Logical probes (the paper's metric); physical overhead is in stats_.

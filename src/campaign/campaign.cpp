@@ -64,6 +64,13 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   if (options.use_probe_cache) cfg.cache = &cache;
   if (options.scan_parallel) cfg.find.pool = pool;
   if (noisy) cfg.retry = runtime::RetryPolicy::voting(3);
+  cfg.controller = options.controller;
+  if (options.controller == runtime::ControllerKind::kAdaptive) {
+    // The profile's rates are campaign knowledge, so seed the sequential
+    // test's corruption prior from them (the per-trial seed only moves the
+    // noise stream, never the rates).
+    cfg.adaptive = faultsim::adaptive_config_for(noise, options.words);
+  }
   attack::Attack attack(oracle, sys.golden.bytes, cfg);
   const attack::AttackResult res = attack.execute();
 

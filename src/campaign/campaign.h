@@ -71,6 +71,11 @@ struct CampaignOptions {
   /// logical metrics — and therefore fingerprint() — are unchanged from the
   /// clean run by the accounting contract.
   faultsim::NoiseProfile noise{};
+  /// Probe-confirmation controller (DESIGN.md §4j): kStatic = the classic
+  /// r-repetition vote; kAdaptive = the sequential test, seeded from `noise`
+  /// per trial (same logical outcome and fingerprint, roughly half the
+  /// physical runs on a mildly noisy board).
+  runtime::ControllerKind controller = runtime::ControllerKind::kStatic;
   /// When non-empty, every completed trial is appended to this JSON file
   /// (atomically rewritten under a lock), so a killed campaign can resume.
   std::string checkpoint_path;

@@ -10,7 +10,11 @@ namespace sbm::campaign {
 
 namespace {
 
-constexpr u64 kCheckpointVersion = 1;
+// v2: options carry the probe-confirmation controller kind (DESIGN.md §4j);
+// it is folded into the signature because resuming a static-vote campaign
+// with the adaptive controller (or vice versa) would splice trials whose
+// physical-layer accounting disagrees.
+constexpr u64 kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -28,6 +32,7 @@ u64 options_signature(const CampaignOptions& options) {
   fold(std::bit_cast<u64>(options.noise.timeout));
   fold(std::bit_cast<u64>(options.noise.death));
   fold(options.noise.seed);
+  fold(static_cast<u64>(options.controller) + 1);
   return h;
 }
 
@@ -106,7 +111,8 @@ void write_options(JsonWriter& w, const CampaignOptions& options) {
       .field("words", options.words)
       .field("use_probe_cache", options.use_probe_cache)
       .field("scan_parallel", options.scan_parallel)
-      .field("batch_width", u64{options.batch_width});
+      .field("batch_width", u64{options.batch_width})
+      .field("controller", runtime::controller_kind_name(options.controller));
   w.key("noise").begin_object();
   w.field("transient_reject", options.noise.transient_reject)
       .field("bit_flip", options.noise.bit_flip)
@@ -133,6 +139,11 @@ std::optional<CampaignOptions> options_from_json(const JsonValue& v) {
   if (const JsonValue* f = v.find("scan_parallel")) o.scan_parallel = f->as_bool(true);
   if (const JsonValue* f = v.find("batch_width")) {
     o.batch_width = static_cast<unsigned>(f->as_u64(simd::kMaxLanes));
+  }
+  if (const JsonValue* f = v.find("controller")) {
+    const auto kind = runtime::parse_controller_kind(f->as_string());
+    if (!kind) return std::nullopt;  // service job validation rejects with 400
+    o.controller = *kind;
   }
   if (const JsonValue* noise = v.find("noise")) {
     if (noise->kind == JsonValue::Kind::kString) {

@@ -30,6 +30,9 @@ class FaultyOracle : public attack::Oracle {
   runtime::ProbeOutcome run(std::span<const u8> bitstream, size_t words) override;
   std::vector<runtime::ProbeOutcome> run_batch(std::span<const std::vector<u8>> bitstreams,
                                                size_t words) override;
+  /// Fault injection is lane-agnostic; the scheduling grain is the inner
+  /// device's, so confirmation re-reads keep riding the wide batch path.
+  unsigned batch_lanes() const override { return inner_.batch_lanes(); }
 
   /// The device died permanently (kKill fired or profile.death triggered).
   bool dead() const { return dead_; }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "common/bits.h"
+#include "runtime/probe_controller.h"
 
 namespace sbm::faultsim {
 
@@ -59,8 +60,22 @@ struct NoiseProfile {
   /// "@<seed>" suffix to re-seed the noise stream.  nullopt on unknown name.
   static std::optional<NoiseProfile> named(std::string_view spec);
 
+  /// This profile with every fault rate multiplied by `factor` (clamped to
+  /// [0, 1]); the seed is unchanged.  Used by the bench noise-level sweep.
+  NoiseProfile scaled(double factor) const;
+
   friend bool operator==(const NoiseProfile&, const NoiseProfile&) = default;
 };
+
+/// Adaptive-controller tuning seeded from a *known* noise profile: the
+/// corruption-rate prior is the exact per-read probability that at least one
+/// of the 32*words keystream bits flipped, weighted strongly enough that the
+/// cheap stopping depth applies from the first probe, and the collision odds
+/// follow the single-bit-flip physics (two corrupted reads agree only when
+/// both flipped the same bit).  With an unknown profile keep the
+/// AdaptiveConfig defaults instead — the estimator starts uninformed and
+/// learns the rate online.
+runtime::AdaptiveConfig adaptive_config_for(const NoiseProfile& profile, size_t words);
 
 /// One scripted fault, applied to the physical run it is scheduled at.
 struct FaultAction {

@@ -120,6 +120,15 @@ TEST(ServiceProtocol, MalformedRequestsAreRejected) {
   EXPECT_TRUE(
       parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"batch_width\":512}}}", &error)
           .has_value());
+  // Unknown probe controllers are spec errors; the known kinds parse.
+  EXPECT_FALSE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"controller\":\"turbo\"}}}",
+                    &error)
+          .has_value());
+  EXPECT_TRUE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"controller\":\"adaptive\"}}}",
+                    &error)
+          .has_value());
 }
 
 // ---------------------------------------------------------------------------
