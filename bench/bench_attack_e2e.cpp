@@ -16,6 +16,7 @@
 #include "common/json.h"
 #include "faultsim/faulty_oracle.h"
 #include "faultsim/noise.h"
+#include "fleet/fleet.h"
 #include "fpga/system.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -96,6 +97,69 @@ NoisyRun run_noisy(runtime::ControllerKind controller, const faultsim::NoiseProf
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   run.singleton_runs = singleton.value() - singleton_before;
   obs::set_mode(saved);
+  return run;
+}
+
+struct FleetRun {
+  AttackResult res;
+  double wall = 0;
+  u64 singleton_runs = 0;
+  // FleetOracle ledger, read back after the attack.
+  size_t migrations = 0;
+  size_t quarantines = 0;
+  size_t hedged_wins = 0;
+  size_t lost_probes = 0;
+  unsigned boards = 0;
+  unsigned alive = 0;
+};
+
+/// The deathmatch pool: board 0 draws from a death process hot enough to
+/// kill it within the first phase, the spares are quiet.  Fully seeded, so
+/// the single-board control deterministically aborts while the 4-board
+/// fleet deterministically migrates and finishes with the clean cached
+/// run's exact oracle_runs.
+fleet::FleetOptions deathmatch_options(unsigned boards) {
+  fleet::FleetOptions opt;
+  opt.boards = boards;
+  opt.noise.death = 1e-4;
+  opt.noise.seed = 0xf1ee7;
+  opt.noise_factors.assign(boards, 0.0);
+  opt.noise_factors[0] = 1e9;
+  return opt;
+}
+
+/// The failover configuration: the attack through a FleetOracle over the
+/// deathmatch pool, cache + 64-lane batches, single confirmation with a
+/// retry budget (voting(1)) so a mid-chunk death migrates instead of
+/// latching fatal on the first timeout.
+FleetRun run_fleet(unsigned boards, bool hedge) {
+  const fpga::System& sys = system_instance();
+  fleet::FleetOptions opt = deathmatch_options(boards);
+  opt.hedge = hedge;
+  fleet::FleetOracle oracle(sys, kIv, opt, nullptr, 64);
+  runtime::ProbeCache cache;
+  PipelineConfig cfg;
+  cfg.iv = kIv;
+  cfg.cache = &cache;
+  cfg.retry = runtime::RetryPolicy::voting(1);
+  const obs::Mode saved = obs::mode();
+  obs::set_mode(obs::Mode::kMetrics);
+  obs::Counter& singleton = obs::MetricsRegistry::global().counter("oracle.singleton_runs");
+  const u64 singleton_before = singleton.value();
+  FleetRun run;
+  const auto start = std::chrono::steady_clock::now();
+  Attack attack(oracle, sys.golden.bytes, cfg);
+  run.res = attack.execute();
+  run.wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  run.singleton_runs = singleton.value() - singleton_before;
+  obs::set_mode(saved);
+  run.migrations = oracle.migrations();
+  run.quarantines = oracle.quarantines();
+  run.hedged_wins = oracle.hedged_wins();
+  run.lost_probes = oracle.lost_probes();
+  run.boards = oracle.boards();
+  run.alive = oracle.alive_boards();
   return run;
 }
 
@@ -204,6 +268,27 @@ void print_cost_breakdown() {
     std::printf("noise sweep %s (adaptive): success %s, %zu physical (%.2fs)\n", s.name,
                 s.run.res.success ? "yes" : "NO (BUG)", s.run.res.physical_runs, s.run.wall);
   }
+
+  // Fleet failover under the deathmatch profile: the single-board control
+  // must abort (the profile kills its only board mid-attack) while the
+  // 4-board fleet migrates and finishes with the clean run's exact
+  // oracle_runs and a balanced physical ledger — both gated by
+  // check_bench_regression.py.  Hedging stays off here so the committed
+  // entry records the migration replay path, not a hedge rescue; the
+  // hedged variant is covered by the smoke gate and tests/test_fleet.cpp.
+  const FleetRun fleet_single = run_fleet(1, false);
+  std::printf("fleet deathmatch (1 board, control): success %s (abort expected), "
+              "%zu lost probes (%.2fs)\n",
+              fleet_single.res.success ? "yes (BUG)" : "no", fleet_single.lost_probes,
+              fleet_single.wall);
+  const FleetRun fleet = run_fleet(4, /*hedge=*/false);
+  std::printf("fleet deathmatch (4 boards): success %s, %zu logical + %zu retry "
+              "+ %zu vote + %zu migration = %zu physical, %zu migration(s), "
+              "%u/%u boards alive (%.2fs)\n",
+              fleet.res.success ? "yes" : "NO (BUG)", fleet.res.oracle_runs,
+              fleet.res.retry_runs, fleet.res.vote_runs, fleet.res.migration_runs,
+              fleet.res.physical_runs, fleet.migrations, fleet.alive, fleet.boards,
+              fleet.wall);
   std::printf("\n");
 
   // The runtime_1t configuration again with the full obs layer on: the delta
@@ -280,6 +365,24 @@ void print_cost_breakdown() {
   };
   noisy_entry("noisy", noisy);
   noisy_entry("noisy_adaptive", adaptive);
+  w.key("fleet_deathmatch").begin_object();
+  w.field("wall_seconds", fleet.wall)
+      .field("success", fleet.res.success)
+      .field("single_success", fleet_single.res.success)  // control: must stay false
+      .field("boards", u64{fleet.boards})
+      .field("alive_boards", u64{fleet.alive})
+      .field("oracle_runs", fleet.res.oracle_runs)
+      .field("cache_hits", fleet.res.cache_hits)
+      .field("probe_calls", fleet.res.probe_calls)
+      .field("physical_runs", fleet.res.physical_runs)
+      .field("retry_runs", fleet.res.retry_runs)
+      .field("vote_runs", fleet.res.vote_runs)
+      .field("migration_runs", fleet.res.migration_runs)
+      .field("migrations", u64{fleet.migrations})
+      .field("quarantines", u64{fleet.quarantines})
+      .field("lost_probes", u64{fleet.lost_probes})
+      .field("singleton_runs", fleet.singleton_runs);
+  w.end_object();
   w.key("noise_sweep").begin_object();
   auto sweep_entry = [&w](const char* name, const NoisyRun& run) {
     w.key(name).begin_object();
@@ -333,6 +436,53 @@ int run_noisy_smoke() {
   return ok ? 0 : 1;
 }
 
+/// Fast gate for ctest (bench.fleet_smoke): the deathmatch profile kills the
+/// single-board control mid-attack, while the 4-board fleet migrates and
+/// finishes with the clean cached run's exact logical cost, a balanced
+/// physical ledger, and zero lost probes.  The hedged variant must reach
+/// the same logical result, absorbing the death through hedge rescues or
+/// migration.  No JSON is written.
+int run_fleet_smoke() {
+  const obs::Mode saved = obs::mode();
+  obs::set_mode(obs::Mode::kOff);  // run_fleet switches to kMetrics itself
+  double wall_clean = 0;
+  const AttackResult clean = run_once(true, nullptr, 64, &wall_clean);
+  const FleetRun single = run_fleet(1, false);
+  const FleetRun fleet = run_fleet(4, /*hedge=*/false);
+  const FleetRun hedged = run_fleet(4, /*hedge=*/true);
+  obs::set_mode(saved);
+  bool ok = true;
+  auto check = [&ok](bool cond, const char* what) {
+    std::printf("%-48s %s\n", what, cond ? "ok" : "FAIL");
+    ok = ok && cond;
+  };
+  check(!single.res.success && single.res.partial,
+        "single board aborts under the death profile");
+  check(fleet.res.success, "4-board fleet recovers the key");
+  check(fleet.res.oracle_runs == clean.oracle_runs,
+        "oracle_runs identical to the clean cached run");
+  check(fleet.res.faulty_keystream == clean.faulty_keystream,
+        "faulty keystream bit-identical to clean");
+  check(fleet.res.physical_runs ==
+            fleet.res.oracle_runs + fleet.res.retry_runs + fleet.res.vote_runs +
+                fleet.res.migration_runs,
+        "ledger: physical = oracle+retry+vote+migration");
+  check(fleet.migrations >= 1, "at least one board death migrated");
+  check(fleet.lost_probes == 0, "no probes lost to the fleet");
+  check(fleet.singleton_runs == 0, "no singleton stragglers");
+  check(hedged.res.success && hedged.res.oracle_runs == clean.oracle_runs &&
+            hedged.res.faulty_keystream == clean.faulty_keystream,
+        "hedged fleet: same logical result");
+  check(hedged.migrations + hedged.hedged_wins >= 1,
+        "hedged fleet survived via rescue or migration");
+  check(hedged.lost_probes == 0, "hedged fleet: no probes lost");
+  std::printf("fleet smoke: %s (%u/%u boards alive, %zu migration runs, "
+              "%zu hedged wins)\n",
+              ok ? "PASS" : "FAIL", fleet.alive, fleet.boards,
+              fleet.res.migration_runs, hedged.hedged_wins);
+  return ok ? 0 : 1;
+}
+
 void BM_FullAttack(benchmark::State& state) {
   const fpga::System& sys = system_instance();
   for (auto _ : state) {
@@ -377,11 +527,14 @@ BENCHMARK(BM_SystemBuild)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   // Strip our own flags before google/benchmark sees (and rejects) them.
   bool noisy_smoke = false;
+  bool fleet_smoke = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const bool has_next = i + 1 < argc;
     if (std::strcmp(argv[i], "--noisy-smoke") == 0) {
       noisy_smoke = true;
+    } else if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
+      fleet_smoke = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && has_next) {
       g_trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && has_next) {
@@ -404,6 +557,7 @@ int main(int argc, char** argv) {
   }
   argc = kept;
   if (noisy_smoke) return run_noisy_smoke();
+  if (fleet_smoke) return run_fleet_smoke();
   print_cost_breakdown();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

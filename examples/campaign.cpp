@@ -41,6 +41,16 @@ void usage(const char* argv0) {
       "  --noise PROFILE      unreliable-hardware model: none|mild|harsh, optional @seed\n"
       "                       suffix (e.g. mild@0x123); probes are then confirmed by\n"
       "                       agreement voting, overhead reported per trial\n"
+      "  --death P            per-run device death probability stacked on the noise\n"
+      "                       profile (give after --noise, which resets it)\n"
+      "  --fleet N            board pool size; N >= 2 fans probes across a health-\n"
+      "                       tracked fleet that survives board death by migrating\n"
+      "                       unanswered probes onto a spare mid-phase\n"
+      "  --fleet-factors L    comma-separated per-board fault-rate multipliers, e.g.\n"
+      "                       1e9,0,0,0 = board 0 dies fast, spares quiet (default:\n"
+      "                       every board at 1.0)\n"
+      "  --hedge              duplicate ragged tail chunks on a second healthy board\n"
+      "                       and take the first usable answer\n"
       "  --controller KIND    probe confirmation controller: static|adaptive (default\n"
       "                       static); adaptive stops each probe as soon as the\n"
       "                       wrong-accept odds clear the bound — same logical results,\n"
@@ -115,6 +125,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.noise = *profile;
+    } else if (arg == "--death") {
+      opt.noise.death = std::strtod(next(), nullptr);
+    } else if (arg == "--fleet") {
+      opt.fleet_size = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+      if (opt.fleet_size == 0) {
+        std::fprintf(stderr, "--fleet must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--fleet-factors") {
+      opt.fleet_noise_factors.clear();
+      const char* s = next();
+      char* end = nullptr;
+      for (;;) {
+        const double v = std::strtod(s, &end);
+        if (end == s || v < 0) {
+          std::fprintf(stderr, "--fleet-factors wants a comma-separated list of "
+                               "non-negative multipliers\n");
+          return 2;
+        }
+        opt.fleet_noise_factors.push_back(v);
+        if (*end != ',') break;
+        s = end + 1;
+      }
+    } else if (arg == "--hedge") {
+      opt.fleet_hedge = true;
     } else if (arg == "--controller") {
       const char* spec = next();
       const auto kind = runtime::parse_controller_kind(spec);
@@ -190,11 +225,12 @@ int main(int argc, char** argv) {
   }
   std::printf("oracle reconfigurations: %zu true + %zu cache hits (%zu probes)\n",
               report.total_oracle_runs, report.total_cache_hits, report.total_probe_calls);
-  if (!opt.noise.quiet()) {
-    std::printf("physical runs          : %zu (= %zu logical + %zu retries + %zu votes), "
-                "%zu corrupt reads detected\n",
+  if (!opt.noise.quiet() || opt.fleet_size >= 2) {
+    std::printf("physical runs          : %zu (= %zu logical + %zu retries + %zu votes "
+                "+ %zu migration), %zu corrupt reads detected\n",
                 report.total_physical_runs, report.total_oracle_runs, report.total_retry_runs,
-                report.total_vote_runs, report.total_corruption_detections);
+                report.total_vote_runs, report.total_migration_runs,
+                report.total_corruption_detections);
   }
   for (const auto& [phase, runs] : report.phase_run_totals) {
     std::printf("  %-10s %7zu\n", phase.c_str(), runs);

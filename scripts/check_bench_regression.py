@@ -78,6 +78,7 @@ def check_attack_e2e(fresh, baseline):
         ok = False
 
     for entry in ("runtime", "runtime_1t", "noisy", "noisy_adaptive", "obs",
+                  "fleet_deathmatch",
                   "runtime_1t_scalar", "runtime_1t_avx2", "runtime_1t_avx512"):
         base = baseline.get(entry, {}).get("wall_seconds")
         new = fresh.get(entry, {}).get("wall_seconds")
@@ -143,6 +144,40 @@ def check_attack_e2e(fresh, baseline):
         # falling back to one-lane reconfiguration is a scheduler bug.
         if noisy.get("singleton_runs", 0) != 0:
             print(f"FAIL: {name} singleton_runs = {noisy.get('singleton_runs')} (must be 0)")
+            ok = False
+
+    # Fleet failover contract: the deathmatch profile must keep killing the
+    # single-board control (or the scenario proves nothing), the 4-board
+    # fleet must finish with the clean run's exact logical cost, and the
+    # physical ledger must balance including migration replays.  Lost
+    # probes and singleton stragglers are scheduler bugs at any count.
+    fleet = fresh.get("fleet_deathmatch")
+    if fleet is not None:
+        if fleet.get("success") is not True:
+            print("FAIL: fleet_deathmatch did not recover the key (fleet.success=false)")
+            ok = False
+        if fleet.get("single_success") is not False:
+            print("FAIL: fleet_deathmatch single-board control survived "
+                  "(the death profile lost its teeth)")
+            ok = False
+        clean_runs = fresh.get("runtime_1t", {}).get("oracle_runs")
+        if clean_runs is not None and fleet.get("oracle_runs") != clean_runs:
+            print(f"FAIL: fleet_deathmatch oracle_runs {fleet.get('oracle_runs')} != clean "
+                  f"{clean_runs} (the paper metric moved under board death)")
+            ok = False
+        expected = (fleet.get("oracle_runs", 0) + fleet.get("retry_runs", 0)
+                    + fleet.get("vote_runs", 0) + fleet.get("migration_runs", 0))
+        physical = fleet.get("physical_runs")
+        if physical is not None and physical != expected:
+            print(f"FAIL: fleet_deathmatch physical_runs {physical} != "
+                  f"oracle+retry+vote+migration {expected}")
+            ok = False
+        for field in ("lost_probes", "singleton_runs"):
+            if fleet.get(field, 0) != 0:
+                print(f"FAIL: fleet_deathmatch {field} = {fleet.get(field)} (must be 0)")
+                ok = False
+        if fleet.get("migrations", 0) < 1:
+            print("FAIL: fleet_deathmatch recorded no migration (board 0 never died?)")
             ok = False
 
     adaptive = fresh.get("noisy_adaptive")

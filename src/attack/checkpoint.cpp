@@ -11,7 +11,9 @@ namespace sbm::attack {
 
 namespace {
 
-constexpr u64 kCheckpointVersion = 1;
+// v2: adds "probes" — settled outcomes salvaged from a dying batch
+// (AttackCheckpoint::SavedProbe), so resume never re-pays them.
+constexpr u64 kCheckpointVersion = 2;
 
 void write_u8_array(JsonWriter& w, const std::string& name, std::span<const u8> values) {
   w.key(name).begin_array();
@@ -73,6 +75,20 @@ std::string AttackCheckpoint::to_json() const {
     w.field("zero_all", f.zero_all);
     write_u8_array(w, "zero_vars", f.zero_vars);
     w.field("bit", u64{f.bit});
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("probes").begin_array();
+  for (const SavedProbe& p : probes) {
+    w.begin_object();
+    w.field("key_hi", p.key_hi);
+    w.field("key_lo", p.key_lo);
+    w.field("words", p.words);
+    w.field("rejected", p.rejected);
+    w.key("keystream").begin_array();
+    for (const u32 word : p.keystream) w.value(u64{word});
+    w.end_array();
     w.end_object();
   }
   w.end_array();
@@ -157,6 +173,31 @@ std::optional<AttackCheckpoint> AttackCheckpoint::from_json(std::string_view jso
     }
     f.bit = static_cast<unsigned>(bit->as_u64());
     cp.feedback.push_back(std::move(f));
+  }
+
+  if (const JsonValue* probes = doc->find("probes")) {
+    if (!probes->is_array()) return std::nullopt;
+    for (const JsonValue& item : probes->items) {
+      if (!item.is_object()) return std::nullopt;
+      SavedProbe p;
+      const JsonValue* hi = item.find("key_hi");
+      const JsonValue* lo = item.find("key_lo");
+      const JsonValue* words = item.find("words");
+      const JsonValue* rejected = item.find("rejected");
+      const JsonValue* keystream = item.find("keystream");
+      if (hi == nullptr || lo == nullptr || words == nullptr || rejected == nullptr ||
+          keystream == nullptr || !keystream->is_array()) {
+        return std::nullopt;
+      }
+      p.key_hi = hi->as_u64();
+      p.key_lo = lo->as_u64();
+      p.words = words->as_u64();
+      p.rejected = rejected->as_bool();
+      for (const JsonValue& word : keystream->items) {
+        p.keystream.push_back(static_cast<u32>(word.as_u64()));
+      }
+      cp.probes.push_back(std::move(p));
+    }
   }
 
   return cp;

@@ -51,6 +51,20 @@ class Oracle {
   /// probes one at a time.
   virtual unsigned batch_lanes() const { return 1; }
 
+  /// Physical runs the oracle spent on its own initiative, beyond what the
+  /// attack layer demanded — a fleet's migration replays and hedge
+  /// duplicates (fleet::FleetOracle).  Always <= runs(); the attack layer
+  /// reports the delta as AttackResult::migration_runs so the ledger
+  /// physical = oracle + retry + vote + migration stays balanced.
+  virtual size_t internal_runs() const { return 0; }
+
+  /// Health feedback from the retry/vote layer: `count` reads were found
+  /// corrupt (truncated or vote-disagreeing) since the last note.  Silent
+  /// bit-flips are invisible at the oracle boundary — only voting exposes
+  /// them — so a health-tracking oracle needs this back-channel to
+  /// quarantine a board that lies.  Default: ignore.
+  virtual void note_corruptions(size_t count) { (void)count; }
+
  protected:
   size_t runs_ = 0;
 };

@@ -64,6 +64,7 @@ std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>>
   const size_t n = batch.size();
   static obs::Counter& retry_rounds =
       obs::MetricsRegistry::global().counter("retry.rounds");
+  const size_t corruptions_before = stats_.corruptions;
   ctl.begin(n);
 
   // FIFO refill scheduler.  The queue holds one entry per demanded physical
@@ -135,6 +136,12 @@ std::vector<ProbeOutcome> Attack::confirm_batch(std::span<const std::vector<u8>>
 
   std::vector<ProbeOutcome> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = ctl.take(i);
+  // Health feedback: silent corruptions the vote layer caught are invisible
+  // at the oracle boundary; report them so a fleet can quarantine the board
+  // that produced them (a no-op for single-board oracles).
+  if (const size_t caught = stats_.corruptions - corruptions_before; caught > 0) {
+    oracle_.note_corruptions(caught);
+  }
   return out;
 }
 
@@ -173,8 +180,27 @@ ProbeOutcome Attack::probe(const std::vector<u8>& bytes) {
   }
   ++paper_runs_;
   ProbeOutcome result = std::move(confirm_batch(one)[0]);
-  if (cacheable(result)) config_.cache->store(key, result.to_optional());
+  if (cacheable(result)) {
+    config_.cache->store(key, result.to_optional());
+    salvage(key.hi, key.lo, result);
+  }
   return finalize(std::move(result));
+}
+
+void Attack::salvage(u64 key_hi, u64 key_lo, const ProbeOutcome& outcome) {
+  for (const auto& p : salvage_) {
+    if (p.key_hi == key_hi && p.key_lo == key_lo &&
+        p.words == static_cast<u64>(config_.words)) {
+      return;
+    }
+  }
+  AttackCheckpoint::SavedProbe saved;
+  saved.key_hi = key_hi;
+  saved.key_lo = key_lo;
+  saved.words = static_cast<u64>(config_.words);
+  saved.rejected = !outcome.ok();
+  if (outcome.ok()) saved.keystream = outcome.value();
+  salvage_.push_back(std::move(saved));
 }
 
 std::vector<ProbeOutcome> Attack::probe_batch(std::span<const std::vector<u8>> batch) {
@@ -227,6 +253,7 @@ std::vector<ProbeOutcome> Attack::probe_batch(std::span<const std::vector<u8>> b
     for (size_t k = 0; k < misses.size(); ++k) {
       if (cacheable(results[k])) {
         config_.cache->store(keys[miss_index[k]], results[k].to_optional());
+        salvage(keys[miss_index[k]].hi, keys[miss_index[k]].lo, results[k]);
       }
       out[miss_index[k]] = finalize(std::move(results[k]));
     }
@@ -266,6 +293,7 @@ AttackCheckpoint Attack::make_checkpoint(const AttackResult& result) const {
   cp.feedback = result.feedback;
   for (const Patch& p : beta_patches_) cp.beta.push_back({p.byte_index, p.order, p.init});
   cp.load_active_high = result.load_active_high;
+  cp.probes = salvage_;
   return cp;
 }
 
@@ -273,8 +301,23 @@ AttackResult Attack::execute() {
   AttackResult result;
   active_ = &result;
   initial_oracle_runs_ = oracle_.runs();
+  initial_internal_runs_ = oracle_.internal_runs();
   phase_ = "setup";
   obs::Span exec_span("attack", "execute");
+
+  // Resume support: pre-seed the cache with the settled probe outcomes a
+  // prior partial run salvaged into its checkpoint, so they answer as cache
+  // hits here instead of re-running physically.
+  if (config_.resume != nullptr && config_.cache != nullptr &&
+      !config_.resume->probes.empty()) {
+    for (const AttackCheckpoint::SavedProbe& p : config_.resume->probes) {
+      config_.cache->store(runtime::ProbeKey{p.key_hi, p.key_lo, p.words},
+                           p.rejected ? runtime::ProbeResult{}
+                                      : runtime::ProbeResult(p.keystream));
+    }
+    note("resume: pre-seeded " + std::to_string(config_.resume->probes.size()) +
+         " salvaged probe outcome(s) from checkpoint");
+  }
 
   // Step 0: baseline keystream and CRC neutralization.
   bool ok = true;
@@ -337,6 +380,7 @@ AttackResult Attack::execute() {
   result.physical_runs = oracle_.runs() - initial_oracle_runs_;
   result.retry_runs = stats_.retry_runs;
   result.vote_runs = stats_.vote_runs;
+  result.migration_runs = oracle_.internal_runs() - initial_internal_runs_;
   result.corruption_detections = stats_.corruptions;
   result.transient_rejections = stats_.transient_rejections;
   result.checkpoint = make_checkpoint(result);
@@ -354,6 +398,7 @@ AttackResult Attack::execute() {
   static obs::Counter& c_calls = registry.counter("attack.probe_calls");
   static obs::Counter& c_retries = registry.counter("attack.retry_runs");
   static obs::Counter& c_votes = registry.counter("attack.vote_runs");
+  static obs::Counter& c_migration = registry.counter("attack.migration_runs");
   static obs::Counter& c_corrupt = registry.counter("attack.corruption_detections");
   static obs::Counter& c_transient = registry.counter("attack.transient_rejections");
   c_executions.add();
@@ -364,6 +409,7 @@ AttackResult Attack::execute() {
   c_calls.add(result.probe_calls);
   c_retries.add(result.retry_runs);
   c_votes.add(result.vote_runs);
+  c_migration.add(result.migration_runs);
   c_corrupt.add(result.corruption_detections);
   c_transient.add(result.transient_rejections);
   exec_span.arg("oracle_runs", result.oracle_runs);

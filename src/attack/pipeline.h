@@ -55,6 +55,8 @@ namespace sbm::attack {
 /// correct CRC-32C for every modified bitstream.
 enum class CrcHandling { kDisable, kRecompute };
 
+struct AttackCheckpoint;
+
 struct PipelineConfig {
   size_t words = 16;  // keystream words per probe (the paper's w)
   /// `find.pool` also shards every family scan of the pipeline; results are
@@ -82,6 +84,12 @@ struct PipelineConfig {
   /// Tuning for the adaptive controller; ignored by kStatic.  Seed it from
   /// a known noise profile with faultsim::adaptive_config_for().
   runtime::AdaptiveConfig adaptive;
+  /// Resume from a prior partial run: the checkpoint's salvaged probe
+  /// outcomes (AttackCheckpoint::probes) are pre-seeded into `cache` before
+  /// the first phase, so probes the dead board already answered are never
+  /// re-paid physically.  Requires `cache`; ignored without one.  The
+  /// checkpoint must outlive execute().
+  const AttackCheckpoint* resume = nullptr;
   bool verbose = false;
 };
 
@@ -127,6 +135,23 @@ struct AttackCheckpoint {
   std::vector<BetaPatch> beta;
   bool load_active_high = true;
 
+  /// A probe outcome that settled (confirmed value or persistent rejection)
+  /// during the run — the checkpoint-side mirror of the probe cache.
+  /// Persisting these means a resume — or a fleet migration that replays a
+  /// batch — never re-pays physical runs the dead board already completed:
+  /// the resumed attack pre-seeds its cache from them and re-probes only
+  /// what never settled.  Keys are runtime::make_probe_key digests of the
+  /// patched bitstream, exactly as the probe cache stores them.
+  struct SavedProbe {
+    u64 key_hi = 0;
+    u64 key_lo = 0;
+    u64 words = 0;
+    bool rejected = false;       // persistent rejection (no keystream)
+    std::vector<u32> keystream;  // confirmed value when !rejected
+    bool operator==(const SavedProbe&) const = default;
+  };
+  std::vector<SavedProbe> probes;
+
   bool operator==(const AttackCheckpoint&) const = default;
 
   std::string to_json() const;
@@ -166,11 +191,16 @@ struct AttackResult {
   size_t cache_hits = 0;
   size_t probe_calls = 0;
 
-  /// Physical reconfigurations actually performed, including retry and vote
-  /// overhead: physical_runs = oracle_runs + retry_runs + vote_runs.
+  /// Physical reconfigurations actually performed, including retry, vote
+  /// and fleet-internal overhead:
+  /// physical_runs = oracle_runs + retry_runs + vote_runs + migration_runs.
   size_t physical_runs = 0;
   size_t retry_runs = 0;  // re-issues after transient errors
   size_t vote_runs = 0;   // confirmation reads beyond the first
+  /// Runs the oracle spent on its own initiative (fleet migration replays
+  /// and hedge duplicates; see Oracle::internal_runs).  0 for single-board
+  /// oracles.
+  size_t migration_runs = 0;
   size_t corruption_detections = 0;  // truncated or disagreeing reads seen
   size_t transient_rejections = 0;   // rejections that vanished on retry
 
@@ -221,6 +251,10 @@ class Attack {
   /// When an irrecoverable fault is latched: marks `result` partial, names
   /// the phase in `failure`, and returns true (the phase must stop).
   bool lost(AttackResult& result);
+  /// Records a settled, cacheable outcome of a batch that hit an
+  /// irrecoverable fault, for persistence in the checkpoint (deduplicated
+  /// by key).  See AttackCheckpoint::SavedProbe.
+  void salvage(u64 key_hi, u64 key_lo, const runtime::ProbeOutcome& outcome);
 
   std::vector<u8> with_patches(const std::vector<u8>& base, const std::vector<Patch>& patches);
   /// Replays a verified feedback rewrite for application on `base`.  The
@@ -252,7 +286,11 @@ class Attack {
   /// Logical probes (the paper's metric); physical overhead is in stats_.
   size_t paper_runs_ = 0;
   size_t initial_oracle_runs_ = 0;
+  size_t initial_internal_runs_ = 0;
   runtime::RetryStats stats_;
+  /// Settled outcomes of the batch in flight when fatal_ latched; persisted
+  /// via make_checkpoint so resume/migration never re-pays them.
+  std::vector<AttackCheckpoint::SavedProbe> salvage_;
   runtime::ProbeError fatal_ = runtime::ProbeError::kNone;
   const char* phase_ = "setup";
   std::vector<std::string> completed_phases_;

@@ -8,6 +8,7 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "faultsim/faulty_oracle.h"
+#include "fleet/fleet.h"
 #include "fpga/system.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,7 +56,24 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   faultsim::NoiseProfile noise = options.noise;
   noise.seed = mix64(options.noise.seed ^ out.trial_seed);
   faultsim::FaultyOracle faulty(device, noise);
-  attack::Oracle& oracle = noisy ? static_cast<attack::Oracle&>(faulty) : device;
+  // fleet_size >= 2: run the trial against a health-tracked board pool
+  // (DESIGN.md §4k) so a board death migrates in-flight probes to a spare
+  // instead of aborting the trial.  Each board derives its own fault stream
+  // from the per-trial noise seed; the fleet is used even with quiet noise
+  // so the options knob alone decides the topology.
+  std::optional<fleet::FleetOracle> fleet;
+  if (options.fleet_size >= 2) {
+    fleet::FleetOptions fleet_opt;
+    fleet_opt.boards = options.fleet_size;
+    fleet_opt.noise = noise;
+    fleet_opt.noise_factors = options.fleet_noise_factors;
+    fleet_opt.hedge = options.fleet_hedge;
+    fleet.emplace(sys, iv, fleet_opt, options.scan_parallel ? pool : nullptr,
+                  options.batch_width);
+  }
+  attack::Oracle& oracle =
+      fleet ? static_cast<attack::Oracle&>(*fleet)
+            : (noisy ? static_cast<attack::Oracle&>(faulty) : device);
 
   runtime::ProbeCache cache;
   attack::PipelineConfig cfg;
@@ -63,7 +81,13 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   cfg.iv = iv;
   if (options.use_probe_cache) cfg.cache = &cache;
   if (options.scan_parallel) cfg.find.pool = pool;
-  if (noisy) cfg.retry = runtime::RetryPolicy::voting(3);
+  // A fleet needs a retrying policy even under quiet noise: migration is
+  // driven by the retry layer re-demanding the timeouts a dying board left.
+  if (noisy) {
+    cfg.retry = runtime::RetryPolicy::voting(3);
+  } else if (fleet) {
+    cfg.retry = runtime::RetryPolicy::voting(1);
+  }
   cfg.controller = options.controller;
   if (options.controller == runtime::ControllerKind::kAdaptive) {
     // The profile's rates are campaign knowledge, so seed the sequential
@@ -86,6 +110,7 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   out.physical_runs = res.physical_runs;
   out.retry_runs = res.retry_runs;
   out.vote_runs = res.vote_runs;
+  out.migration_runs = res.migration_runs;
   out.corruption_detections = res.corruption_detections;
   out.transient_rejections = res.transient_rejections;
   out.wall_seconds =
@@ -118,6 +143,7 @@ void CampaignReport::accumulate(const TrialOutcome& t) {
   total_physical_runs += t.physical_runs;
   total_retry_runs += t.retry_runs;
   total_vote_runs += t.vote_runs;
+  total_migration_runs += t.migration_runs;
   total_corruption_detections += t.corruption_detections;
   for (const auto& [phase, runs] : t.phase_runs) {
     bool found = false;
@@ -139,6 +165,7 @@ void CampaignReport::write_metrics(JsonWriter& w) const {
       .field("physical_runs", total_physical_runs)
       .field("retry_runs", total_retry_runs)
       .field("vote_runs", total_vote_runs)
+      .field("migration_runs", total_migration_runs)
       .field("corruption_detections", total_corruption_detections)
       .field("resumed_trials", resumed_trials)
       .field("scan_index_cache_entries", scan_index_cache_entries);
@@ -198,6 +225,7 @@ std::string CampaignReport::to_json() const {
       .field("total_physical_runs", total_physical_runs)
       .field("total_retry_runs", total_retry_runs)
       .field("total_vote_runs", total_vote_runs)
+      .field("total_migration_runs", total_migration_runs)
       .field("total_corruption_detections", total_corruption_detections)
       .field("resumed_trials", resumed_trials)
       .field("scan_index_cache_entries", scan_index_cache_entries)

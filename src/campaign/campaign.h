@@ -76,6 +76,24 @@ struct CampaignOptions {
   /// per trial (same logical outcome and fingerprint, roughly half the
   /// physical runs on a mildly noisy board).
   runtime::ControllerKind controller = runtime::ControllerKind::kStatic;
+  /// Board pool per trial (DESIGN.md §4k).  1 = the classic single board
+  /// (a FaultyOracle when `noise` is non-quiet); >= 2 wraps every trial's
+  /// device in a fleet::FleetOracle of this many boards, each with its own
+  /// (per-trial re-seeded) noise stream, so a board death migrates the
+  /// in-flight probes to a spare instead of aborting the trial.  The
+  /// logical metrics and fingerprint() are unchanged by the fleet size.
+  unsigned fleet_size = 1;
+  /// Per-board fault-rate multipliers on `noise` (board i uses entry i;
+  /// missing entries default to 1.0).  Only meaningful with fleet_size >= 2.
+  std::vector<double> fleet_noise_factors;
+  /// Hedge straggler chunks on a second healthy board (fleet runs only).
+  bool fleet_hedge = false;
+  /// Wall-clock budget for the whole campaign in seconds; 0 = unlimited.
+  /// Enforced by the service layer (the job is cancelled with a
+  /// `deadline_exceeded` terminal status once exceeded); run_campaign
+  /// itself ignores it.  Excluded from the checkpoint options signature,
+  /// like `threads` — it changes when a run stops, never what it computes.
+  double deadline_seconds = 0;
   /// When non-empty, every completed trial is appended to this JSON file
   /// (atomically rewritten under a lock), so a killed campaign can resume.
   std::string checkpoint_path;
@@ -109,6 +127,9 @@ struct TrialOutcome {
   size_t physical_runs = 0;
   size_t retry_runs = 0;
   size_t vote_runs = 0;
+  /// Fleet-internal physical runs (migration replays + hedge duplicates);
+  /// physical_runs = oracle_runs + retry_runs + vote_runs + migration_runs.
+  size_t migration_runs = 0;
   size_t corruption_detections = 0;
   size_t transient_rejections = 0;
   double wall_seconds = 0;  // informational only — excluded from fingerprint()
@@ -128,6 +149,7 @@ struct CampaignReport {
   size_t total_physical_runs = 0;
   size_t total_retry_runs = 0;
   size_t total_vote_runs = 0;
+  size_t total_migration_runs = 0;
   size_t total_corruption_detections = 0;
   /// Trials answered from the resume checkpoint instead of being re-run.
   size_t resumed_trials = 0;

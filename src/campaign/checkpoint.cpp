@@ -14,7 +14,11 @@ namespace {
 // it is folded into the signature because resuming a static-vote campaign
 // with the adaptive controller (or vice versa) would splice trials whose
 // physical-layer accounting disagrees.
-constexpr u64 kCheckpointVersion = 2;
+// v3: fleet topology (fleet_size, per-board noise factors, hedging —
+// DESIGN.md §4k) joins the signature for the same reason; trial records
+// carry migration_runs.  deadline_seconds stays out, like threads: it
+// decides when a run stops, never what it computes.
+constexpr u64 kCheckpointVersion = 3;
 
 }  // namespace
 
@@ -33,6 +37,10 @@ u64 options_signature(const CampaignOptions& options) {
   fold(std::bit_cast<u64>(options.noise.death));
   fold(options.noise.seed);
   fold(static_cast<u64>(options.controller) + 1);
+  fold(options.fleet_size);
+  fold(options.fleet_hedge ? 1 : 2);
+  fold(options.fleet_noise_factors.size());
+  for (const double f : options.fleet_noise_factors) fold(std::bit_cast<u64>(f));
   return h;
 }
 
@@ -53,6 +61,7 @@ void write_trial(JsonWriter& w, const TrialOutcome& t) {
       .field("physical_runs", t.physical_runs)
       .field("retry_runs", t.retry_runs)
       .field("vote_runs", t.vote_runs)
+      .field("migration_runs", t.migration_runs)
       .field("corruption_detections", t.corruption_detections)
       .field("transient_rejections", t.transient_rejections)
       .field("wall_seconds", t.wall_seconds);
@@ -93,6 +102,7 @@ std::optional<TrialOutcome> trial_from_json(const JsonValue& v) {
   get_size("physical_runs", t.physical_runs);
   get_size("retry_runs", t.retry_runs);
   get_size("vote_runs", t.vote_runs);
+  get_size("migration_runs", t.migration_runs);
   get_size("corruption_detections", t.corruption_detections);
   get_size("transient_rejections", t.transient_rejections);
   if (const JsonValue* f = v.find("wall_seconds")) t.wall_seconds = f->as_double();
@@ -112,7 +122,17 @@ void write_options(JsonWriter& w, const CampaignOptions& options) {
       .field("use_probe_cache", options.use_probe_cache)
       .field("scan_parallel", options.scan_parallel)
       .field("batch_width", u64{options.batch_width})
-      .field("controller", runtime::controller_kind_name(options.controller));
+      .field("controller", runtime::controller_kind_name(options.controller))
+      .field("fleet_size", u64{options.fleet_size})
+      .field("fleet_hedge", options.fleet_hedge);
+  w.key("fleet_noise_factors").begin_array();
+  for (const double f : options.fleet_noise_factors) w.value(f);
+  w.end_array();
+  // Written only when set so default-option records round-trip: a present
+  // non-positive deadline is malformed (service validation rejects it).
+  if (options.deadline_seconds > 0) {
+    w.field("deadline_seconds", options.deadline_seconds);
+  }
   w.key("noise").begin_object();
   w.field("transient_reject", options.noise.transient_reject)
       .field("bit_flip", options.noise.bit_flip)
@@ -144,6 +164,23 @@ std::optional<CampaignOptions> options_from_json(const JsonValue& v) {
     const auto kind = runtime::parse_controller_kind(f->as_string());
     if (!kind) return std::nullopt;  // service job validation rejects with 400
     o.controller = *kind;
+  }
+  if (const JsonValue* f = v.find("fleet_size")) {
+    o.fleet_size = static_cast<unsigned>(f->as_u64(1));
+    if (o.fleet_size == 0) return std::nullopt;
+  }
+  if (const JsonValue* f = v.find("fleet_hedge")) o.fleet_hedge = f->as_bool();
+  if (const JsonValue* f = v.find("fleet_noise_factors")) {
+    if (!f->is_array()) return std::nullopt;
+    for (const JsonValue& item : f->items) {
+      const double factor = item.as_double(-1);
+      if (factor < 0) return std::nullopt;
+      o.fleet_noise_factors.push_back(factor);
+    }
+  }
+  if (const JsonValue* f = v.find("deadline_seconds")) {
+    o.deadline_seconds = f->as_double();
+    if (o.deadline_seconds <= 0) return std::nullopt;  // 400 at the service
   }
   if (const JsonValue* noise = v.find("noise")) {
     if (noise->kind == JsonValue::Kind::kString) {

@@ -23,6 +23,7 @@ std::string_view to_string(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kDeadline: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -33,6 +34,7 @@ std::optional<JobState> job_state_from_string(std::string_view s) {
   if (s == "done") return JobState::kDone;
   if (s == "failed") return JobState::kFailed;
   if (s == "cancelled") return JobState::kCancelled;
+  if (s == "deadline_exceeded") return JobState::kDeadline;
   return std::nullopt;
 }
 
@@ -68,9 +70,13 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v) {
     if (!options) return std::nullopt;
     spec.options = *options;
   }
+  // Fleet-size cap is service policy (a tenant cannot demand an absurd
+  // board pool); fleet_size == 0 and non-positive deadlines are already
+  // rejected by options_from_json.
   if (spec.options.trials == 0 || spec.options.words == 0 ||
       spec.options.batch_width == 0 ||
-      spec.options.batch_width > simd::kMaxLanes) {
+      spec.options.batch_width > simd::kMaxLanes ||
+      spec.options.fleet_size > 64) {
     return std::nullopt;
   }
   return spec;

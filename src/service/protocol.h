@@ -39,10 +39,12 @@ enum class JobMode : u8 { kAttack, kSynthetic };
 std::string_view to_string(JobMode mode);
 std::optional<JobMode> job_mode_from_string(std::string_view s);
 
-/// Job lifecycle: queued -> running -> done | failed | cancelled.  A daemon
-/// restart maps queued/running jobs back to queued (resuming from their
-/// checkpoints); the terminal states are final.
-enum class JobState : u8 { kQueued, kRunning, kDone, kFailed, kCancelled };
+/// Job lifecycle: queued -> running -> done | failed | cancelled |
+/// deadline_exceeded.  A daemon restart maps queued/running jobs back to
+/// queued (resuming from their checkpoints); the terminal states are final.
+/// kDeadline is the distinct terminal state of a job cancelled for
+/// exceeding its CampaignOptions::deadline_seconds wall-clock budget.
+enum class JobState : u8 { kQueued, kRunning, kDone, kFailed, kCancelled, kDeadline };
 std::string_view to_string(JobState state);
 std::optional<JobState> job_state_from_string(std::string_view s);
 

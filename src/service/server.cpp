@@ -160,7 +160,8 @@ std::string SocketServer::handle_line(std::string_view line) {
     case Verb::kCancel: {
       const std::optional<JobState> state = service_.cancel(req->job_id);
       if (!state) return error_response(Verb::kCancel, 404, "unknown_job", req->request_id);
-      if (*state == JobState::kDone || *state == JobState::kFailed) {
+      if (*state == JobState::kDone || *state == JobState::kFailed ||
+          *state == JobState::kDeadline) {
         return error_response(Verb::kCancel, 409, "already_finished", req->request_id);
       }
       begin_response(w, Verb::kCancel, true, req->request_id);

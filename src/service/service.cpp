@@ -64,6 +64,7 @@ struct ServiceMetrics {
   obs::Counter& completed;
   obs::Counter& failed;
   obs::Counter& cancelled;
+  obs::Counter& deadline;
   obs::Counter& resumed_jobs;
   obs::Counter& trials_completed;
   obs::Gauge& queue_depth;
@@ -75,6 +76,7 @@ struct ServiceMetrics {
                             obs::MetricsRegistry::global().counter("service.jobs_completed"),
                             obs::MetricsRegistry::global().counter("service.jobs_failed"),
                             obs::MetricsRegistry::global().counter("service.jobs_cancelled"),
+                            obs::MetricsRegistry::global().counter("service.jobs_deadline"),
                             obs::MetricsRegistry::global().counter("service.jobs_resumed"),
                             obs::MetricsRegistry::global().counter("service.trials_completed"),
                             obs::MetricsRegistry::global().gauge("service.queue_depth"),
@@ -395,13 +397,29 @@ void CampaignService::run_job(const std::shared_ptr<Job>& job) {
   campaign::Orchestrator orch(pool_.get());
   campaign::Orchestrator::Hooks hooks;
   hooks.cancel = &job->cancel;
-  hooks.on_trial = [this, job](const campaign::TrialOutcome& t, size_t completed,
-                               size_t total) {
+  // Wall-clock deadline: checked after every finished trial (the trial
+  // granularity is the service's cancellation granularity throughout), and
+  // enforced through the same cancel flag a tenant cancel uses — the
+  // deadline_exceeded latch is what finalizes the job as kDeadline instead
+  // of kCancelled.
+  const double deadline_seconds = spec.options.deadline_seconds;
+  const auto job_start = std::chrono::steady_clock::now();
+  hooks.on_trial = [this, job, deadline_seconds, job_start](const campaign::TrialOutcome& t,
+                                                           size_t completed, size_t total) {
     (void)total;
-    const std::lock_guard<std::mutex> lock(job->mu);
-    job->record.trials_done = completed;
-    job->live.accumulate(t);
+    {
+      const std::lock_guard<std::mutex> lock(job->mu);
+      job->record.trials_done = completed;
+      job->live.accumulate(t);
+    }
     ServiceMetrics::get().trials_completed.add();
+    if (deadline_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - job_start).count();
+      if (elapsed > deadline_seconds && !job->deadline_exceeded.exchange(true)) {
+        job->cancel.store(true);
+      }
+    }
   };
   if (spec.mode == JobMode::kSynthetic) {
     const u32 sleep_ms = spec.synthetic_trial_ms;
@@ -427,6 +445,14 @@ void CampaignService::run_job(const std::shared_ptr<Job>& job) {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failed;
     ServiceMetrics::get().failed.add();
+    return;
+  }
+
+  if (job->deadline_exceeded.load()) {
+    // Checked before the hard-stop parking below: a deadline also raises
+    // the cancel flag, but the job is finished (over budget), not
+    // interrupted — parking it would re-run it forever on every restart.
+    finalize(*job, JobState::kDeadline, report, "deadline_exceeded");
     return;
   }
 
@@ -467,6 +493,9 @@ void CampaignService::finalize(Job& job, JobState state, const campaign::Campaig
   if (state == JobState::kDone) {
     ++stats_.completed;
     ServiceMetrics::get().completed.add();
+  } else if (state == JobState::kDeadline) {
+    ++stats_.deadline;
+    ServiceMetrics::get().deadline.add();
   } else {
     ++stats_.cancelled;
     ServiceMetrics::get().cancelled.add();

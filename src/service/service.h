@@ -114,6 +114,8 @@ class CampaignService {
     size_t completed = 0;
     size_t failed = 0;
     size_t cancelled = 0;
+    /// Jobs terminated for exceeding their wall-clock deadline.
+    size_t deadline = 0;
     size_t resumed_jobs = 0;   // jobs rescheduled from the store on start
     size_t corrupt_records = 0;
     size_t queued = 0;
@@ -143,6 +145,9 @@ class CampaignService {
     std::string final_metrics_json;
     std::atomic<bool> cancel{false};       // orchestrator stop flag
     std::atomic<bool> user_cancel{false};  // tenant cancel vs daemon stop
+    /// The wall-clock deadline fired: the run was stopped via `cancel` and
+    /// finalizes as kDeadline instead of kCancelled.
+    std::atomic<bool> deadline_exceeded{false};
   };
 
   std::shared_ptr<Job> find(const std::string& id) const;

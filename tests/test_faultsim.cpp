@@ -449,6 +449,48 @@ TEST(ProbeCacheGuard, FatalOutcomesAreNeverStored) {
   EXPECT_EQ(second.cache_hits, clean.cache_hits);
 }
 
+TEST(AttackCheckpointTest, SettledProbesSurviveDeathAndResumeNeverRepaysThem) {
+  // Satellite acceptance: a device death mid-phase leaves every settled,
+  // cacheable probe outcome in the checkpoint; a resumed attack pre-seeds
+  // its cache from them, so the dead board's completed work is never
+  // re-bought on the replacement board.
+  const attack::AttackResult& clean = clean_reference();
+  const fpga::System& sys = shared_system();
+  const size_t setup_misses = clean.phase_runs[0].second;
+
+  attack::DeviceOracle device(sys, kHostIv, nullptr, 64);
+  FaultyOracle oracle(device, FaultPlan().kill_at(2 * setup_misses + 100));
+  runtime::ProbeCache doomed_cache;
+  attack::PipelineConfig cfg = cached_config(&doomed_cache);
+  cfg.retry = pair_voting();
+  attack::Attack doomed(oracle, sys.golden.bytes, cfg);
+  const attack::AttackResult first = doomed.execute();
+  ASSERT_FALSE(first.success);
+  ASSERT_TRUE(first.partial);
+
+  const attack::AttackCheckpoint& cp = first.checkpoint;
+  ASSERT_GT(cp.probes.size(), 0u);
+  // The settled probes round-trip through JSON with the rest of the state.
+  const auto back = attack::AttackCheckpoint::from_json(cp.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, cp);
+
+  // Resume on a fresh board with a cold cache: every checkpointed probe is
+  // answered from the checkpoint, everything else is re-probed — the sum is
+  // exactly the clean run's miss/hit split.
+  attack::DeviceOracle fresh(sys, kHostIv, nullptr, 64);
+  runtime::ProbeCache resumed_cache;
+  attack::PipelineConfig resume_cfg = cached_config(&resumed_cache);
+  resume_cfg.resume = &cp;
+  attack::Attack resumed_attack(fresh, sys.golden.bytes, resume_cfg);
+  const attack::AttackResult resumed = resumed_attack.execute();
+  ASSERT_TRUE(resumed.success) << resumed.failure;
+  EXPECT_EQ(resumed.secrets.key, sys.options.key);
+  EXPECT_EQ(resumed.faulty_keystream, clean.faulty_keystream);
+  EXPECT_EQ(resumed.oracle_runs + cp.probes.size(), clean.oracle_runs);
+  EXPECT_EQ(resumed.cache_hits, clean.cache_hits + cp.probes.size());
+}
+
 TEST(AttackCheckpointTest, JsonRoundTripPreservesEveryField) {
   attack::AttackCheckpoint cp;
   cp.phase = "feedback";

@@ -18,6 +18,7 @@
 
 #include "common/fsio.h"
 #include "common/json.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "service/client.h"
@@ -64,7 +65,7 @@ JobView wait_terminal(CampaignService& service, const std::string& id) {
     EXPECT_TRUE(view.has_value());
     if (!view) return JobView{};
     if (view->state == JobState::kDone || view->state == JobState::kFailed ||
-        view->state == JobState::kCancelled) {
+        view->state == JobState::kCancelled || view->state == JobState::kDeadline) {
       return *view;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -119,6 +120,29 @@ TEST(ServiceProtocol, MalformedRequestsAreRejected) {
   // active backend's lane count).
   EXPECT_TRUE(
       parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"batch_width\":512}}}", &error)
+          .has_value());
+  // Non-positive deadlines and zero fleet sizes are spec errors too: a
+  // tenant either sets a real wall-clock budget or omits the field.
+  EXPECT_FALSE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"deadline_seconds\":0}}}",
+                    &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"deadline_seconds\":-2}}}",
+                    &error)
+          .has_value());
+  EXPECT_TRUE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"deadline_seconds\":1.5}}}",
+                    &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"fleet_size\":0}}}", &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"fleet_size\":65}}}", &error)
+          .has_value());
+  EXPECT_TRUE(
+      parse_request("{\"verb\":\"submit\",\"job\":{\"options\":{\"fleet_size\":4}}}", &error)
           .has_value());
   // Unknown probe controllers are spec errors; the known kinds parse.
   EXPECT_FALSE(
@@ -572,6 +596,125 @@ TEST(ServiceSocket, CancelQueuedJobNeverRuns) {
   EXPECT_EQ(view.trials_done, 0u);
   EXPECT_EQ(view.cancelled_trials, 30u);
   EXPECT_EQ(client.wait_done(*blocker).value_or(""), "done");
+}
+
+TEST(JobStore, TortureSweepEveryKillPointYieldsOldOrNewNeverCorrupt) {
+  // Crash-recovery torture: simulate the process dying at randomized points
+  // of a record rewrite.  The write protocol is write-temp + rename, so the
+  // only on-disk states a kill can leave are (a) old record + partial .tmp
+  // (killed before rename) and (b) the new record whole (killed after).  A
+  // restart must load exactly the old or the new record — never a blend,
+  // never a parse crash — and sweep the debris.
+  const std::string dir = fresh_path("torture");
+  const JobStore store(dir);
+  JobRecord old_rec = sample_record("j-000042", 42);
+  JobRecord new_rec = old_rec;
+  new_rec.state = JobState::kRunning;
+  new_rec.trials_done = 9;
+  const std::string new_json = job_record_to_json(new_rec);
+  const std::string tmp_path = store.job_path(new_rec.id) + ".tmp";
+
+  Rng rng(0x70a7u);
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(store.save(old_rec));
+    const size_t cut = rng.next_u64() % new_json.size();
+    ASSERT_TRUE(write_file(tmp_path, new_json.substr(0, cut)));
+    const JobStore::Loaded loaded = store.load_all();
+    EXPECT_EQ(loaded.corrupt, 0u) << "kill point " << cut;
+    ASSERT_EQ(loaded.jobs.size(), 1u) << "kill point " << cut;
+    EXPECT_EQ(loaded.jobs[0].trials_done, old_rec.trials_done) << "kill point " << cut;
+    EXPECT_EQ(loaded.jobs[0].state, JobState::kQueued) << "kill point " << cut;
+    struct stat st {};
+    EXPECT_NE(::stat(tmp_path.c_str(), &st), 0) << "tmp debris must be swept";
+  }
+
+  // Killed after the rename: the new record, whole.
+  ASSERT_TRUE(store.save(new_rec));
+  const JobStore::Loaded after = store.load_all();
+  EXPECT_EQ(after.corrupt, 0u);
+  ASSERT_EQ(after.jobs.size(), 1u);
+  EXPECT_EQ(after.jobs[0].trials_done, 9u);
+  EXPECT_EQ(after.jobs[0].state, JobState::kRunning);
+
+  // Torn destination files (disk corruption — no kill point of the atomic
+  // protocol produces this) are skipped and counted, never half-parsed.
+  for (int i = 0; i < 16; ++i) {
+    const size_t cut = 1 + rng.next_u64() % (new_json.size() - 1);
+    ASSERT_TRUE(write_file(store.job_path(new_rec.id), new_json.substr(0, cut)));
+    const JobStore::Loaded loaded = store.load_all();
+    EXPECT_EQ(loaded.corrupt, 1u) << "cut " << cut;
+    EXPECT_TRUE(loaded.jobs.empty()) << "cut " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock deadlines
+
+TEST(ServiceDeadline, JobExceedingItsBudgetFinalizesAsDeadlineExceeded) {
+  const std::string store_dir = fresh_path("dl-store");
+  std::string job_id;
+  {
+    DaemonFixture daemon(small_service(store_dir), "dl");
+    Client client = daemon.connect();
+    JobSpec spec = synthetic_spec(500, 10);
+    spec.options.deadline_seconds = 0.05;  // a few trials, then over budget
+    const auto id = client.submit(spec);
+    ASSERT_TRUE(id.has_value());
+    job_id = *id;
+
+    const JobView view = wait_terminal(daemon.service, job_id);
+    EXPECT_EQ(view.state, JobState::kDeadline);
+    EXPECT_EQ(view.failure, "deadline_exceeded");
+    EXPECT_GT(view.trials_done, 0u);
+    EXPECT_LT(view.trials_done, 500u);
+
+    // The wire protocol reports the distinct terminal state...
+    Request status;
+    status.verb = Verb::kStatus;
+    status.job_id = job_id;
+    const auto st = client.request(status);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->find("job")->find("state")->as_string(), "deadline_exceeded");
+    EXPECT_EQ(st->find("job")->find("failure")->as_string(), "deadline_exceeded");
+
+    // ...a late cancel is a 409 like any finished job...
+    Request cancel;
+    cancel.verb = Verb::kCancel;
+    cancel.job_id = job_id;
+    const auto conflict = client.request(cancel);
+    ASSERT_TRUE(conflict.has_value());
+    EXPECT_EQ(conflict->find("code")->as_u64(), 409u);
+    EXPECT_EQ(conflict->find("error")->as_string(), "already_finished");
+
+    // ...the partial report survives, and the stats ledger is distinct from
+    // tenant cancels.
+    EXPECT_TRUE(daemon.service.result_json(job_id).has_value());
+    const auto stats = daemon.service.stats();
+    EXPECT_EQ(stats.deadline, 1u);
+    EXPECT_EQ(stats.cancelled, 0u);
+  }
+
+  // A deadline-terminated job is finished, not interrupted: a daemon restart
+  // over the same store must not resurrect it as queued.
+  CampaignService revived(small_service(store_dir));
+  EXPECT_EQ(revived.stats().resumed_jobs, 0u);
+  const auto view = revived.status(job_id);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->state, JobState::kDeadline);
+  revived.drain();
+}
+
+TEST(ServiceDeadline, GenerousBudgetNeverFires) {
+  DaemonFixture daemon(small_service(fresh_path("dlok-store")), "dlok");
+  Client client = daemon.connect();
+  JobSpec spec = synthetic_spec(3);
+  spec.options.deadline_seconds = 3600;
+  const auto id = client.submit(spec);
+  ASSERT_TRUE(id.has_value());
+  const JobView view = wait_terminal(daemon.service, *id);
+  EXPECT_EQ(view.state, JobState::kDone);
+  EXPECT_EQ(view.trials_done, 3u);
+  EXPECT_EQ(daemon.service.stats().deadline, 0u);
 }
 
 // ---------------------------------------------------------------------------
