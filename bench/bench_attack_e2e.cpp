@@ -8,10 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "attack/cracker.h"
 #include "attack/pipeline.h"
 #include "common/json.h"
 #include "faultsim/faulty_oracle.h"
@@ -163,6 +165,33 @@ FleetRun run_fleet(unsigned boards, bool hedge) {
   return run;
 }
 
+struct CrackRun {
+  CrackResult res;
+  double wall = 0;
+};
+
+/// The oracle-guided countermeasure cracker (DESIGN.md §4l) against a
+/// protected victim — plain Section VII decoys or the response-equalized
+/// strengthening.  Cache + 64-lane batches on one thread, like the noisy
+/// configuration.
+CrackRun run_crack(bool equalized) {
+  fpga::SystemOptions opt;
+  opt.protected_variant = true;
+  opt.equalized = equalized;
+  const fpga::System sys = fpga::build_system(opt);
+  DeviceOracle oracle(sys, kIv, nullptr, 64);
+  runtime::ProbeCache cache;
+  CrackerConfig cfg;
+  cfg.cache = &cache;
+  CrackRun run;
+  const auto start = std::chrono::steady_clock::now();
+  Cracker cracker(oracle, sys.golden.bytes, cfg);
+  run.res = cracker.execute();
+  run.wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return run;
+}
+
 void print_cost_breakdown() {
   // The standard entries measure the attack itself: obs is forced off so the
   // committed baseline captures the disabled-mode cost that
@@ -289,6 +318,21 @@ void print_cost_breakdown() {
               fleet.res.retry_runs, fleet.res.vote_runs, fleet.res.migration_runs,
               fleet.res.physical_runs, fleet.migrations, fleet.alive, fleet.boards,
               fleet.wall);
+
+  // The arms race (DESIGN.md §4l): the cracker adaptively disambiguates the
+  // plain countermeasure's decoys in ~600 probes where the static bound
+  // claims C(n-32,32); the response-equalized strengthening forces it to a
+  // proof of ambiguity and strictly more probes.
+  const CrackRun crack = run_crack(/*equalized=*/false);
+  std::printf("cracker (protected): verdict %s, %zu adaptive probes vs static bound "
+              "2^%.1f over %zu sites (%.2fs)\n",
+              crack.res.unique ? "unique" : "NOT UNIQUE (BUG)", crack.res.adaptive_probes,
+              crack.res.log2_static_bound, crack.res.unique_sites, crack.wall);
+  const CrackRun crack_eq = run_crack(/*equalized=*/true);
+  std::printf("cracker (equalized): verdict %s, %zu adaptive probes, residual 2^%.1f "
+              "hypotheses (%.2fs)\n",
+              crack_eq.res.proven_ambiguous ? "proven ambiguous" : "NOT AMBIGUOUS (BUG)",
+              crack_eq.res.adaptive_probes, crack_eq.res.log2_hypotheses_final, crack_eq.wall);
   std::printf("\n");
 
   // The runtime_1t configuration again with the full obs layer on: the delta
@@ -382,6 +426,18 @@ void print_cost_breakdown() {
       .field("quarantines", u64{fleet.quarantines})
       .field("lost_probes", u64{fleet.lost_probes})
       .field("singleton_runs", fleet.singleton_runs);
+  w.end_object();
+  w.key("cracker").begin_object();
+  w.field("wall_seconds", crack.wall)
+      .field("unique", crack.res.unique)
+      .field("adaptive_probes", crack.res.adaptive_probes)
+      .field("candidates", crack.res.candidates)
+      .field("unique_sites", crack.res.unique_sites)
+      .field("log2_static_bound", crack.res.log2_static_bound)
+      .field("equalized_wall_seconds", crack_eq.wall)
+      .field("equalized_adaptive_probes", crack_eq.res.adaptive_probes)
+      .field("equalized_proven_ambiguous", crack_eq.res.proven_ambiguous)
+      .field("equalized_log2_final", crack_eq.res.log2_hypotheses_final);
   w.end_object();
   w.key("noise_sweep").begin_object();
   auto sweep_entry = [&w](const char* name, const NoisyRun& run) {
@@ -483,6 +539,40 @@ int run_fleet_smoke() {
   return ok ? 0 : 1;
 }
 
+/// Fast gate for ctest (bench.cracker_smoke): the cracker must uniquely
+/// identify the 32 true sources on the plain protected victim in adaptive
+/// probes exponentially below the static C(n-32,32) bound, and the
+/// response-equalized countermeasure must force a proof of ambiguity at a
+/// strictly higher probe cost.  No JSON is written.
+int run_cracker_smoke() {
+  const obs::Mode saved = obs::mode();
+  obs::set_mode(obs::Mode::kOff);
+  const CrackRun crack = run_crack(/*equalized=*/false);
+  const CrackRun crack_eq = run_crack(/*equalized=*/true);
+  obs::set_mode(saved);
+  bool ok = true;
+  auto check = [&ok](bool cond, const char* what) {
+    std::printf("%-48s %s\n", what, cond ? "ok" : "FAIL");
+    ok = ok && cond;
+  };
+  check(crack.res.success && crack.res.unique && !crack.res.proven_ambiguous,
+        "protected: unique identification of all 32 sources");
+  check(crack.res.adaptive_probes > 0 &&
+            crack.res.log2_static_bound -
+                    std::log2(static_cast<double>(crack.res.adaptive_probes)) >
+                80,
+        "adaptive probes exponentially below the static bound");
+  check(crack_eq.res.success && crack_eq.res.proven_ambiguous && !crack_eq.res.unique,
+        "equalized: cracker proves residual ambiguity");
+  check(crack_eq.res.adaptive_probes > crack.res.adaptive_probes,
+        "equalized countermeasure costs strictly more probes");
+  std::printf("cracker smoke: %s (%zu probes vs 2^%.1f static; equalized %zu probes, "
+              "2^%.1f residual)\n",
+              ok ? "PASS" : "FAIL", crack.res.adaptive_probes, crack.res.log2_static_bound,
+              crack_eq.res.adaptive_probes, crack_eq.res.log2_hypotheses_final);
+  return ok ? 0 : 1;
+}
+
 void BM_FullAttack(benchmark::State& state) {
   const fpga::System& sys = system_instance();
   for (auto _ : state) {
@@ -528,6 +618,7 @@ int main(int argc, char** argv) {
   // Strip our own flags before google/benchmark sees (and rejects) them.
   bool noisy_smoke = false;
   bool fleet_smoke = false;
+  bool cracker_smoke = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const bool has_next = i + 1 < argc;
@@ -535,6 +626,8 @@ int main(int argc, char** argv) {
       noisy_smoke = true;
     } else if (std::strcmp(argv[i], "--fleet-smoke") == 0) {
       fleet_smoke = true;
+    } else if (std::strcmp(argv[i], "--cracker-smoke") == 0) {
+      cracker_smoke = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && has_next) {
       g_trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && has_next) {
@@ -558,6 +651,7 @@ int main(int argc, char** argv) {
   argc = kept;
   if (noisy_smoke) return run_noisy_smoke();
   if (fleet_smoke) return run_fleet_smoke();
+  if (cracker_smoke) return run_cracker_smoke();
   print_cost_breakdown();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

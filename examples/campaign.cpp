@@ -31,6 +31,12 @@ void usage(const char* argv0) {
       "  --threads N          worker threads, 0 = hardware concurrency (default 0)\n"
       "  --seed S             master seed (default 0x5eedc0de)\n"
       "  --protected-every K  every K-th trial uses the protected design (default 0 = never)\n"
+      "  --crack              run the oracle-guided countermeasure cracker instead of the\n"
+      "                       key-recovery attack: every trial builds a protected victim\n"
+      "                       and adaptively disambiguates its decoy hypothesis set,\n"
+      "                       reporting adaptive probes against the static C(n-32,32) bound\n"
+      "  --equalized          crack the response-equalized (strengthened) countermeasure;\n"
+      "                       the expected verdict flips to a proof of ambiguity\n"
       "  --words W            keystream words per probe (default 16)\n"
       "  --batch-width W      oracle probes packed per bit-sliced batch, 1-512; clamped\n"
       "                       at runtime to the active SIMD backend's width (default 512)\n"
@@ -92,6 +98,10 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--protected-every") {
       opt.protected_every = static_cast<size_t>(std::strtoull(next(), nullptr, 0));
+    } else if (arg == "--crack") {
+      opt.kind = "crack";
+    } else if (arg == "--equalized") {
+      opt.equalized = true;
     } else if (arg == "--words") {
       opt.words = static_cast<size_t>(std::strtoull(next(), nullptr, 0));
     } else if (arg == "--batch-width") {
@@ -214,8 +224,18 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- aggregate -----------------------------------------------------\n");
   std::printf("threads used          : %u\n", report.threads_used);
-  std::printf("unprotected           : %zu/%zu keys recovered\n", report.unprotected_successes,
-              report.unprotected_trials);
+  if (report.crack_trials != 0) {
+    std::printf("cracker verdicts      : %zu/%zu unique, %zu/%zu proven ambiguous%s\n",
+                report.crack_unique_verdicts, report.crack_trials,
+                report.crack_ambiguous_verdicts, report.crack_trials,
+                opt.equalized ? " (equalized countermeasure)" : "");
+    std::printf("adaptive probes       : %zu total across crack trials (vs the static\n"
+                "                        C(n-32,32) bound per trial; see log2_static_bound)\n",
+                report.total_adaptive_probes);
+  } else {
+    std::printf("unprotected           : %zu/%zu keys recovered\n",
+                report.unprotected_successes, report.unprotected_trials);
+  }
   if (report.protected_trials != 0) {
     std::printf("protected (Sec. VII)  : %zu/%zu trials resisted the attack\n",
                 report.protected_resisted, report.protected_trials);

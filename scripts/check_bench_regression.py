@@ -78,7 +78,7 @@ def check_attack_e2e(fresh, baseline):
         ok = False
 
     for entry in ("runtime", "runtime_1t", "noisy", "noisy_adaptive", "obs",
-                  "fleet_deathmatch",
+                  "fleet_deathmatch", "cracker",
                   "runtime_1t_scalar", "runtime_1t_avx2", "runtime_1t_avx512"):
         base = baseline.get(entry, {}).get("wall_seconds")
         new = fresh.get(entry, {}).get("wall_seconds")
@@ -178,6 +178,40 @@ def check_attack_e2e(fresh, baseline):
                 ok = False
         if fleet.get("migrations", 0) < 1:
             print("FAIL: fleet_deathmatch recorded no migration (board 0 never died?)")
+            ok = False
+
+    # Countermeasure-cracker contract (DESIGN.md §4l): the adaptive cracker
+    # must uniquely identify the true sources in exponentially fewer probes
+    # than the static C(n-32,32) bound the defender advertises, and the
+    # response-equalized strengthening must both survive (proof of ambiguity,
+    # no unique identification) and cost strictly more adaptive probes.
+    cracker = fresh.get("cracker")
+    if cracker is not None:
+        import math
+        if cracker.get("unique") is not True:
+            print("FAIL: cracker did not uniquely identify the protected "
+                  "victim's sources (cracker.unique=false)")
+            ok = False
+        probes = cracker.get("adaptive_probes", 0)
+        bound = cracker.get("log2_static_bound", 0)
+        if probes <= 0 or bound - math.log2(probes) <= 80:
+            print(f"FAIL: cracker adaptive_probes {probes} not exponentially "
+                  f"below the static bound 2^{bound:.1f}")
+            ok = False
+        else:
+            print(f"cracker: {probes} adaptive probes vs static bound "
+                  f"2^{bound:.1f} ok")
+        eq_probes = cracker.get("equalized_adaptive_probes", 0)
+        if eq_probes <= probes:
+            print(f"FAIL: equalized countermeasure did not raise the adaptive "
+                  f"probe cost ({eq_probes} <= {probes})")
+            ok = False
+        else:
+            print(f"cracker equalized: {eq_probes} adaptive probes "
+                  f"(> plain {probes}) ok")
+        if cracker.get("equalized_proven_ambiguous") is not True:
+            print("FAIL: equalized countermeasure was not proven ambiguous "
+                  "(the strengthening lost its teeth)")
             ok = False
 
     adaptive = fresh.get("noisy_adaptive")

@@ -40,10 +40,11 @@ fi
 # layer, the observability layer (sharded counters, per-thread trace
 # buffers), the board fleet (failover + health tracking) and the campaign
 # service (worker threads + socket reactor + fair scheduler — the most
-# thread-shaped code in the repo) — where a
+# thread-shaped code in the repo) and the countermeasure cracker (pooled
+# candidate scans + multi-threaded crack campaigns) — where a
 # sanitizer finding is most likely and the runs are cheap enough for CI.
 # The full run takes the whole tier-1 label.
-smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace|Orchestrator|ServiceProtocol|FairScheduler|JobStore|ServiceSocket|ServiceRestart|ServiceMetricsParity|ServiceDeadline|SimdDispatch|SimdLaneVec|SimdTranspose|FlatMap|ProbeCacheFlatMap|AdaptiveController|StaticController|AdaptivePipeline|AdaptiveCampaign|ControllerConfig|FleetOracleTest|FleetCampaign)'
+smoke_filter='^(ThreadPool|Parallel|ProbeCache|Retry|FaultyOracle|NoiseProfile|ProbeCacheGuard|AttackCheckpoint|ObsMode|Metrics|Trace|Orchestrator|ServiceProtocol|FairScheduler|JobStore|ServiceSocket|ServiceRestart|ServiceMetricsParity|ServiceDeadline|SimdDispatch|SimdLaneVec|SimdTranspose|FlatMap|ProbeCacheFlatMap|AdaptiveController|StaticController|AdaptivePipeline|AdaptiveCampaign|ControllerConfig|FleetOracleTest|FleetCampaign|DecoyHypothesis|Cracker|CrackCampaign|CrackService)'
 
 status=0
 for san in "${sanitizers[@]}"; do
@@ -52,7 +53,8 @@ for san in "${sanitizers[@]}"; do
   cmake -B "$dir" -S . -DSBM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   if [ "$smoke" -eq 1 ]; then
     cmake --build "$dir" -j --target test_runtime test_faultsim test_obs \
-      test_orchestrator test_service test_simd test_probe_controller test_fleet
+      test_orchestrator test_service test_simd test_probe_controller test_fleet \
+      test_cracker
   else
     cmake --build "$dir" -j
   fi

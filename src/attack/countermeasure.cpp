@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <unordered_map>
+
+#include "bitstream/parser.h"
+#include "bitstream/patcher.h"
 
 namespace sbm::attack {
 
@@ -95,6 +99,33 @@ std::vector<HalfMatch> find_xor2_halves(std::span<const u8> bitstream,
   // One canonical XOR2 (a1 ^ a2); permutations generate every pair.
   constexpr u32 kXorA1A2 = 0xaaaaaaaau ^ 0xccccccccu;
   return find_lut_half(bitstream, kXorA1A2, options, begin, end);
+}
+
+std::vector<HalfMatch> unique_xor2_half_sites(std::span<const u8> bitstream,
+                                              const FindLutOptions& options, bool fold_vacuous) {
+  const bitstream::ParseResult parsed =
+      bitstream::parse_bitstream({bitstream.data(), bitstream.size()});
+  const auto aligned = [&](size_t l) {
+    if (!parsed.ok || parsed.fdri_byte_offset == 0) return true;
+    if (l < parsed.fdri_byte_offset) return false;
+    const size_t rel = l - parsed.fdri_byte_offset;
+    return rel % 2 == 0 && (rel / bitstream::kFrameBytes) % 4 == 0;
+  };
+  std::map<std::pair<size_t, bool>, HalfMatch> unique;
+  for (const HalfMatch& h : find_xor2_halves(bitstream, options)) {
+    if (!aligned(h.byte_index)) continue;
+    const u64 stored =
+        bitstream::read_lut_init(bitstream, h.byte_index, options.offset_d, h.order);
+    // A vacuous table (both halves identical) is a single-output LUT the
+    // half scan reports twice; fold it to one canonical entry.
+    const bool vacuous =
+        fold_vacuous && static_cast<u32>(stored) == static_cast<u32>(stored >> 32);
+    unique.emplace(std::make_pair(h.byte_index, vacuous ? true : h.o5_half), h);
+  }
+  std::vector<HalfMatch> sites;
+  sites.reserve(unique.size());
+  for (const auto& [key, h] : unique) sites.push_back(h);
+  return sites;
 }
 
 u32 permute_half5(u32 half, const InputPermutation& perm) {

@@ -39,6 +39,29 @@ std::vector<HalfMatch> find_xor2_halves(std::span<const u8> bitstream,
                                         const FindLutOptions& options = {}, size_t begin = 0,
                                         size_t end = SIZE_MAX);
 
+/// Deduplicated physical candidate sites for the half-table fallback.
+/// `find_xor2_halves` reports every (position, half, permutation) tuple, so
+/// one placed XOR2 can appear many times: once per matching permutation,
+/// once per half when the stored table is vacuous (lo == hi, a single-output
+/// LUT replicated into both halves), and at unaligned byte offsets whose
+/// windows overlap a real site.  Counting those duplicates inflates the
+/// C(n, 32) resistance bound — decoy placements get counted with
+/// replacement.  This helper collapses the raw matches to one entry per
+/// physical (site, half): frame-aligned positions only, vacuous tables
+/// folded to a single canonical half, first match kept (family order), so
+/// the result is deterministic for a given bitstream.
+///
+/// `fold_vacuous = false` keeps both halves of a vacuous (lo == hi) table
+/// as separate candidates.  Statically they are indistinguishable, but a
+/// fault oracle tells them apart: a single-output LUT replicated into both
+/// halves has one live half (the other zeroes to no effect), while two
+/// identical XOR2s packed into one dual-output site are two independently
+/// zeroable placements.  The cracker enumerates per-half so it never fuses
+/// two co-located decoys into one hypothesis.
+std::vector<HalfMatch> unique_xor2_half_sites(std::span<const u8> bitstream,
+                                              const FindLutOptions& options = {},
+                                              bool fold_vacuous = true);
+
 /// Applies a 5-variable input permutation to a 32-bit half-table (position
 /// 5 of the permutation is ignored).
 u32 permute_half5(u32 half, const logic::InputPermutation& perm);

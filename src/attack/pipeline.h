@@ -40,6 +40,7 @@
 
 #include "attack/findlut.h"
 #include "attack/oracle.h"
+#include "attack/probe_session.h"
 #include "runtime/probe_controller.h"
 #include "runtime/retry.h"
 #include "snow3g/reverse.h"
@@ -49,11 +50,6 @@ class ProbeCache;
 }
 
 namespace sbm::attack {
-
-/// How the attacker deals with the configuration CRC (Section V-B): either
-/// disable the check once by zeroing the CRC write, or recompute the
-/// correct CRC-32C for every modified bitstream.
-enum class CrcHandling { kDisable, kRecompute };
 
 struct AttackCheckpoint;
 
@@ -135,21 +131,13 @@ struct AttackCheckpoint {
   std::vector<BetaPatch> beta;
   bool load_active_high = true;
 
-  /// A probe outcome that settled (confirmed value or persistent rejection)
+  /// Probe outcomes that settled (confirmed value or persistent rejection)
   /// during the run — the checkpoint-side mirror of the probe cache.
   /// Persisting these means a resume — or a fleet migration that replays a
   /// batch — never re-pays physical runs the dead board already completed:
   /// the resumed attack pre-seeds its cache from them and re-probes only
-  /// what never settled.  Keys are runtime::make_probe_key digests of the
-  /// patched bitstream, exactly as the probe cache stores them.
-  struct SavedProbe {
-    u64 key_hi = 0;
-    u64 key_lo = 0;
-    u64 words = 0;
-    bool rejected = false;       // persistent rejection (no keystream)
-    std::vector<u32> keystream;  // confirmed value when !rejected
-    bool operator==(const SavedProbe&) const = default;
-  };
+  /// what never settled.
+  using SavedProbe = sbm::attack::SavedProbe;
   std::vector<SavedProbe> probes;
 
   bool operator==(const AttackCheckpoint&) const = default;
@@ -215,48 +203,22 @@ class Attack {
   AttackResult execute();
 
  private:
-  struct Patch {
-    size_t byte_index;
-    std::array<u8, 4> order;
-    u64 init;
-  };
-
-  /// One *logical* probe: cache lookup, then a confirmed read — the retry
-  /// policy absorbs transient errors and agreement-votes noisy values.  The
-  /// outcome is a value, a persistent (genuine) rejection, or a fatal error
-  /// that also latches fatal_ so the current phase can stop.
-  runtime::ProbeOutcome probe(const std::vector<u8>& bytes);
-  /// Batch counterpart of probe(): element i is probe(batch[i]).  Probes
-  /// with no result dependency between them go through the oracle's batch
-  /// interface, which packs them into 64-lane bit-sliced device runs; the
-  /// cache (when configured) is consulted per element and in-batch
-  /// duplicates of a miss resolve as hits, exactly as the serial order
-  /// would.  Accounting is unchanged: every non-cached element is one
-  /// logical probe (one unit of the paper's cost metric), with retries and
-  /// votes tracked separately.
-  std::vector<runtime::ProbeOutcome> probe_batch(std::span<const std::vector<u8>> batch);
-  /// Confirmed execution of a batch of reads against the oracle, driven by
-  /// the configured ProbeController (DESIGN.md §4j): the controller decides
-  /// per probe when its outcome is settled; this scheduler packs every
-  /// demanded read — first reads, retries and confirmation votes alike —
-  /// into full oracle batch chunks (FIFO refill: an unsettled probe's
-  /// re-read rides the next chunk alongside other probes' first reads
-  /// instead of re-running as a straggler).  Settled outcomes are a value,
-  /// kRejected (persistent), kCorrupt (unconfirmable) or kDead.
-  std::vector<runtime::ProbeOutcome> confirm_batch(std::span<const std::vector<u8>> batch);
-  /// Latches the first irrecoverable error and stores confirmed outcomes in
-  /// the cache (poisoning guard: only values/persistent rejections enter).
-  runtime::ProbeOutcome finalize(runtime::ProbeOutcome outcome);
-  bool device_lost() const { return fatal_ != runtime::ProbeError::kNone; }
+  /// Probing, caching, confirmation and salvage all live in the shared
+  /// ProbeSession (attack/probe_session.h); the pipeline only adds the
+  /// partial-result bookkeeping on top.
+  runtime::ProbeOutcome probe(const std::vector<u8>& bytes) { return session_.probe(bytes); }
+  std::vector<runtime::ProbeOutcome> probe_batch(std::span<const std::vector<u8>> batch) {
+    return session_.probe_batch(batch);
+  }
+  bool device_lost() const { return session_.device_lost(); }
   /// When an irrecoverable fault is latched: marks `result` partial, names
   /// the phase in `failure`, and returns true (the phase must stop).
   bool lost(AttackResult& result);
-  /// Records a settled, cacheable outcome of a batch that hit an
-  /// irrecoverable fault, for persistence in the checkpoint (deduplicated
-  /// by key).  See AttackCheckpoint::SavedProbe.
-  void salvage(u64 key_hi, u64 key_lo, const runtime::ProbeOutcome& outcome);
 
-  std::vector<u8> with_patches(const std::vector<u8>& base, const std::vector<Patch>& patches);
+  std::vector<u8> with_patches(const std::vector<u8>& base,
+                               const std::vector<Patch>& patches) const {
+    return session_.with_patches(base, patches);
+  }
   /// Replays a verified feedback rewrite for application on `base`.  The
   /// rewrite recipe was verified on the beta-patched table, so it is applied
   /// in that context and the minterms the beta fault had zeroed (the gamma
@@ -276,22 +238,11 @@ class Attack {
 
   Oracle& oracle_;
   PipelineConfig config_;
-  /// Per-Attack confirmation controller: its state (including the adaptive
-  /// noise estimate) is instance-local and mutated only on the confirm_batch
-  /// calling thread, keeping controller decisions a pure function of the
-  /// read sequence for any pool size.
-  std::unique_ptr<runtime::ProbeController> controller_;
-  size_t cache_hits_ = 0;
-  size_t probe_calls_ = 0;
-  /// Logical probes (the paper's metric); physical overhead is in stats_.
-  size_t paper_runs_ = 0;
+  /// The shared probe engine: one logical-probe contract (cache, confirmed
+  /// reads, accounting, salvage) for this run.
+  ProbeSession session_;
   size_t initial_oracle_runs_ = 0;
   size_t initial_internal_runs_ = 0;
-  runtime::RetryStats stats_;
-  /// Settled outcomes of the batch in flight when fatal_ latched; persisted
-  /// via make_checkpoint so resume/migration never re-pays them.
-  std::vector<AttackCheckpoint::SavedProbe> salvage_;
-  runtime::ProbeError fatal_ = runtime::ProbeError::kNone;
   const char* phase_ = "setup";
   std::vector<std::string> completed_phases_;
   std::vector<u8> golden_;     // pristine bitstream

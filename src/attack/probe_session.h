@@ -1,0 +1,171 @@
+// The attacker's probe layer, factored out of the Section VI pipeline so
+// every oracle-guided engine (the key-recovery Attack, the countermeasure
+// Cracker) shares one implementation of the logical-probe contract:
+//
+//   * cache lookup first — byte-identical patched bitstreams skip the
+//     reconfiguration and never count toward the paper's cost metric;
+//   * a confirmed read per cache miss — the configured ProbeController
+//     (static r-vote or adaptive sequential test) decides when a probe's
+//     outcome is settled, and the FIFO refill scheduler packs every
+//     demanded physical read into full bit-sliced oracle chunks;
+//   * poisoning guard — only confirmed values and persistent rejections
+//     enter the cache;
+//   * salvage — settled outcomes are recorded for checkpointing, so a
+//     resumed run (or a fleet migration replay) never re-pays probes a
+//     dead board already answered.
+//
+// Accounting is the contract of DESIGN.md §4f: oracle_runs counts logical
+// probes only (noise- and controller-invariant by construction); retries,
+// votes and fleet-internal replays are tracked separately.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "attack/findlut.h"
+#include "attack/oracle.h"
+#include "runtime/probe_controller.h"
+#include "runtime/retry.h"
+#include "snow3g/snow3g.h"
+
+namespace sbm::runtime {
+class ProbeCache;
+}
+
+namespace sbm::attack {
+
+/// How the attacker deals with the configuration CRC (Section V-B): either
+/// disable the check once by zeroing the CRC write, or recompute the
+/// correct CRC-32C for every modified bitstream.
+enum class CrcHandling { kDisable, kRecompute };
+
+/// One LUT-table rewrite: the init value to write at a byte position under
+/// a sub-vector order hypothesis.
+struct Patch {
+  size_t byte_index = 0;
+  std::array<u8, 4> order{};
+  u64 init = 0;
+};
+
+/// A probe outcome that settled (confirmed value or persistent rejection)
+/// during a run — the checkpoint-side mirror of the probe cache.  Keys are
+/// runtime::make_probe_key digests of the patched bitstream, exactly as the
+/// probe cache stores them.
+struct SavedProbe {
+  u64 key_hi = 0;
+  u64 key_lo = 0;
+  u64 words = 0;
+  bool rejected = false;       // persistent rejection (no keystream)
+  std::vector<u32> keystream;  // confirmed value when !rejected
+  bool operator==(const SavedProbe&) const = default;
+};
+
+struct ProbeSessionConfig {
+  size_t words = 16;  // keystream words per probe (the paper's w)
+  CrcHandling crc = CrcHandling::kDisable;
+  /// LUT sub-vector stride (FindLutOptions::offset_d) used by with_patches.
+  size_t offset_d = bitstream::Layout::chunk_stride();
+  /// Optional probe cache; hits never count toward oracle_runs.
+  runtime::ProbeCache* cache = nullptr;
+  /// Retry/vote budget per logical probe (single-shot by default).
+  runtime::RetryPolicy retry;
+  /// Confirmation controller (DESIGN.md §4j).
+  runtime::ControllerKind controller = runtime::ControllerKind::kStatic;
+  runtime::AdaptiveConfig adaptive;
+};
+
+/// Per-run probe engine.  Not thread-safe: probes are issued from the
+/// driving thread only (batching fans out *inside* the oracle).
+class ProbeSession {
+ public:
+  ProbeSession(Oracle& oracle, const ProbeSessionConfig& config);
+  ~ProbeSession();
+
+  /// One *logical* probe: cache lookup, then a confirmed read — the retry
+  /// policy absorbs transient errors and agreement-votes noisy values.  The
+  /// outcome is a value, a persistent (genuine) rejection, or a fatal error
+  /// that also latches fatal() so the caller can stop.
+  runtime::ProbeOutcome probe(const std::vector<u8>& bytes);
+  /// Batch counterpart of probe(): element i is probe(batch[i]).  Probes
+  /// with no result dependency between them go through the oracle's batch
+  /// interface; the cache (when configured) is consulted per element and
+  /// in-batch duplicates of a miss resolve as hits, exactly as the serial
+  /// order would.
+  std::vector<runtime::ProbeOutcome> probe_batch(std::span<const std::vector<u8>> batch);
+
+  /// Applies LUT rewrites to a copy of `base`; in recompute mode the CRC is
+  /// fixed up so every probe carries a valid check (Section V-B).
+  std::vector<u8> with_patches(const std::vector<u8>& base,
+                               const std::vector<Patch>& patches) const;
+
+  /// Pre-seeds the cache with settled outcomes a prior partial run salvaged
+  /// into its checkpoint, so they answer as hits instead of re-running
+  /// physically.  No-op without a cache.  Returns the number seeded.
+  size_t seed_resume(std::span<const SavedProbe> probes);
+
+  /// First irrecoverable error seen (kNone while the device is healthy).
+  runtime::ProbeError fatal() const { return fatal_; }
+  bool device_lost() const { return fatal_ != runtime::ProbeError::kNone; }
+
+  size_t words() const { return config_.words; }
+  /// Logical probes (the paper's metric).
+  size_t oracle_runs() const { return paper_runs_; }
+  size_t cache_hits() const { return cache_hits_; }
+  size_t probe_calls() const { return probe_calls_; }
+  const runtime::RetryStats& stats() const { return stats_; }
+  /// Settled, cacheable outcomes recorded for checkpoint persistence.
+  const std::vector<SavedProbe>& salvaged() const { return salvage_; }
+
+ private:
+  std::vector<runtime::ProbeOutcome> confirm_batch(std::span<const std::vector<u8>> batch);
+  runtime::ProbeOutcome finalize(runtime::ProbeOutcome outcome);
+  void salvage(u64 key_hi, u64 key_lo, const runtime::ProbeOutcome& outcome);
+
+  Oracle& oracle_;
+  ProbeSessionConfig config_;
+  /// Per-session confirmation controller: its state (including the adaptive
+  /// noise estimate) is instance-local and mutated only on the calling
+  /// thread, keeping controller decisions a pure function of the read
+  /// sequence for any pool size.
+  std::unique_ptr<runtime::ProbeController> controller_;
+  size_t cache_hits_ = 0;
+  size_t probe_calls_ = 0;
+  size_t paper_runs_ = 0;
+  runtime::RetryStats stats_;
+  std::vector<SavedProbe> salvage_;
+  runtime::ProbeError fatal_ = runtime::ProbeError::kNone;
+};
+
+/// Key-independent reference keystream simulated with the attacker's own
+/// software model of SNOW 3G.  Key/IV values are irrelevant under the
+/// zero-load fault: every such sequence is constant.
+std::vector<u32> model_reference(snow3g::FaultConfig faults, size_t words);
+
+/// Outcome of the beta-fault establishment stage (Section VI-D.2), shared
+/// by the Attack pipeline's phase 2 and the countermeasure cracker.
+struct BetaStage {
+  /// Verified load-MUX rewrites: applying them makes the device reproduce
+  /// the zero-load reference keystream.
+  std::vector<Patch> patches;
+  bool load_active_high = true;
+  /// Sites whose beta match came from a MUX-with-feedback-fold shape: the
+  /// s15 load MUXes that absorbed the top of the feedback tree, prime
+  /// suspects for carrying the target XOR.
+  std::vector<size_t> fold_sites;
+  /// Load-MUX candidates considered (for logging).
+  size_t candidates = 0;
+};
+
+/// Locates the LFSR-load MUX LUTs on `base` (full-table and half-table
+/// matching, frame-geometry pruned), zeroes their gamma branches and
+/// verifies the rewrite set against the software model's key-independent
+/// zero-load reference, trying both load polarities with leave-one-out
+/// refinement.  nullopt when beta could not be established or the device
+/// was lost mid-stage (check session.device_lost()).
+std::optional<BetaStage> establish_beta(ProbeSession& session, const std::vector<u8>& base,
+                                        const FindLutOptions& find);
+
+}  // namespace sbm::attack

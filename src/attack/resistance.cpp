@@ -65,8 +65,12 @@ ResistanceReport evaluate_resistance(std::span<const u8> bitstream,
   }
   report.attackable = report.keystream_family_max >= 32;
 
-  // Half-table fallback cost.
-  report.xor2_half_candidates = find_xor2_halves(bitstream, options).size();
+  // Half-table fallback cost.  Count physical (site, half) placements, not
+  // raw (position, permutation) matches: an XOR2 matches under several input
+  // permutations and a vacuous single-output table matches as both halves,
+  // so the raw count tallies decoy placements with replacement and inflates
+  // the C(n, 32) bound the defender reports.
+  report.xor2_half_candidates = unique_xor2_half_sites(bitstream, options).size();
   if (report.xor2_half_candidates >= 64) {
     report.log2_exhaustive_search =
         log2_binomial(static_cast<unsigned>(report.xor2_half_candidates) - 32, 32);

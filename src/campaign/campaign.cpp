@@ -1,7 +1,9 @@
 #include "campaign/campaign.h"
 
+#include <bit>
 #include <chrono>
 
+#include "attack/cracker.h"
 #include "attack/pipeline.h"
 #include "campaign/checkpoint.h"
 #include "campaign/orchestrator.h"
@@ -32,14 +34,19 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
   TrialOutcome out;
   out.index = index;
   out.trial_seed = mix64(options.seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
-  out.protected_variant = is_protected_trial(options, index);
+  out.crack = options.kind == "crack";
+  // A crack trial always targets a protected victim — that is what it is
+  // disambiguating; `equalized` picks the strengthened variant.
+  out.protected_variant = out.crack || is_protected_trial(options, index);
 
   // All trial randomness — victim key, host IV, placement scatter — derives
   // from the trial seed, never from global state, so trials are independent
-  // of scheduling order.
+  // of scheduling order.  The draw order (key x4, placement seed, IV x4) is
+  // shared by both trial kinds so a seed identifies one victim.
   Rng rng(out.trial_seed);
   fpga::SystemOptions sys_opt;
   sys_opt.protected_variant = out.protected_variant;
+  sys_opt.equalized = out.crack && options.equalized;
   sys_opt.key = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
   sys_opt.packing.placement_seed = rng.next_u64();
   const snow3g::Iv iv = {rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()};
@@ -76,43 +83,84 @@ TrialOutcome run_trial(const CampaignOptions& options, size_t index, runtime::Th
             : (noisy ? static_cast<attack::Oracle&>(faulty) : device);
 
   runtime::ProbeCache cache;
-  attack::PipelineConfig cfg;
-  cfg.words = options.words;
-  cfg.iv = iv;
-  if (options.use_probe_cache) cfg.cache = &cache;
-  if (options.scan_parallel) cfg.find.pool = pool;
-  // A fleet needs a retrying policy even under quiet noise: migration is
-  // driven by the retry layer re-demanding the timeouts a dying board left.
+  // Shared probe-layer policy for both trial kinds.  A fleet needs a
+  // retrying policy even under quiet noise: migration is driven by the retry
+  // layer re-demanding the timeouts a dying board left.
+  runtime::RetryPolicy retry;
   if (noisy) {
-    cfg.retry = runtime::RetryPolicy::voting(3);
+    retry = runtime::RetryPolicy::voting(3);
   } else if (fleet) {
-    cfg.retry = runtime::RetryPolicy::voting(1);
+    retry = runtime::RetryPolicy::voting(1);
   }
-  cfg.controller = options.controller;
+  runtime::AdaptiveConfig adaptive;
   if (options.controller == runtime::ControllerKind::kAdaptive) {
     // The profile's rates are campaign knowledge, so seed the sequential
     // test's corruption prior from them (the per-trial seed only moves the
     // noise stream, never the rates).
-    cfg.adaptive = faultsim::adaptive_config_for(noise, options.words);
+    adaptive = faultsim::adaptive_config_for(noise, options.words);
   }
-  attack::Attack attack(oracle, sys.golden.bytes, cfg);
-  const attack::AttackResult res = attack.execute();
 
-  out.attack_success = res.success;
-  out.key_match = res.success && res.secrets.key == sys_opt.key;
-  out.expected = out.protected_variant ? !res.success : out.key_match;
-  out.partial = res.partial;
-  out.failure = res.failure;
-  out.oracle_runs = res.oracle_runs;
-  out.cache_hits = res.cache_hits;
-  out.probe_calls = res.probe_calls;
-  out.phase_runs = res.phase_runs;
-  out.physical_runs = res.physical_runs;
-  out.retry_runs = res.retry_runs;
-  out.vote_runs = res.vote_runs;
-  out.migration_runs = res.migration_runs;
-  out.corruption_detections = res.corruption_detections;
-  out.transient_rejections = res.transient_rejections;
+  if (out.crack) {
+    attack::CrackerConfig cfg;
+    cfg.words = options.words;
+    if (options.use_probe_cache) cfg.cache = &cache;
+    if (options.scan_parallel) cfg.find.pool = pool;
+    cfg.retry = retry;
+    cfg.controller = options.controller;
+    cfg.adaptive = adaptive;
+    attack::Cracker cracker(oracle, sys.golden.bytes, cfg);
+    const attack::CrackResult res = cracker.execute();
+
+    out.attack_success = res.success;
+    out.crack_unique = res.unique;
+    out.crack_proven_ambiguous = res.proven_ambiguous;
+    // The cracker "wins" when its verdict matches the variant: unique
+    // identification against the plain countermeasure, a proof of ambiguity
+    // against the response-equalized one.
+    out.expected = res.success &&
+                   (options.equalized ? res.proven_ambiguous : res.unique);
+    out.failure = res.failure;
+    out.crack_candidates = res.candidates;
+    out.adaptive_probes = res.adaptive_probes;
+    out.log2_static_bound = res.log2_static_bound;
+    out.log2_final = res.log2_hypotheses_final;
+    out.oracle_runs = res.adaptive_probes;
+    out.cache_hits = res.cache_hits;
+    out.probe_calls = res.probe_calls;
+    out.physical_runs = oracle.runs();
+    out.retry_runs = res.retry_stats.retry_runs;
+    out.vote_runs = res.retry_stats.vote_runs;
+    out.migration_runs = oracle.internal_runs();
+    out.corruption_detections = res.retry_stats.corruptions;
+    out.transient_rejections = res.retry_stats.transient_rejections;
+  } else {
+    attack::PipelineConfig cfg;
+    cfg.words = options.words;
+    cfg.iv = iv;
+    if (options.use_probe_cache) cfg.cache = &cache;
+    if (options.scan_parallel) cfg.find.pool = pool;
+    cfg.retry = retry;
+    cfg.controller = options.controller;
+    cfg.adaptive = adaptive;
+    attack::Attack attack(oracle, sys.golden.bytes, cfg);
+    const attack::AttackResult res = attack.execute();
+
+    out.attack_success = res.success;
+    out.key_match = res.success && res.secrets.key == sys_opt.key;
+    out.expected = out.protected_variant ? !res.success : out.key_match;
+    out.partial = res.partial;
+    out.failure = res.failure;
+    out.oracle_runs = res.oracle_runs;
+    out.cache_hits = res.cache_hits;
+    out.probe_calls = res.probe_calls;
+    out.phase_runs = res.phase_runs;
+    out.physical_runs = res.physical_runs;
+    out.retry_runs = res.retry_runs;
+    out.vote_runs = res.vote_runs;
+    out.migration_runs = res.migration_runs;
+    out.corruption_detections = res.corruption_detections;
+    out.transient_rejections = res.transient_rejections;
+  }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   span.arg("oracle_runs", out.oracle_runs);
@@ -130,7 +178,12 @@ CampaignReport run_campaign(const CampaignOptions& options) {
 }
 
 void CampaignReport::accumulate(const TrialOutcome& t) {
-  if (t.protected_variant) {
+  if (t.crack) {
+    ++crack_trials;
+    crack_unique_verdicts += t.crack_unique ? 1 : 0;
+    crack_ambiguous_verdicts += t.crack_proven_ambiguous ? 1 : 0;
+    total_adaptive_probes += t.adaptive_probes;
+  } else if (t.protected_variant) {
     ++protected_trials;
     protected_resisted += t.expected ? 1 : 0;
   } else {
@@ -202,6 +255,14 @@ u64 CampaignReport::fingerprint() const {
       fold(phase.size());
       fold(runs);
     }
+    if (t.crack) {
+      fold(t.crack_unique ? 1 : 2);
+      fold(t.crack_proven_ambiguous ? 1 : 2);
+      fold(t.crack_candidates);
+      fold(t.adaptive_probes);
+      fold(std::bit_cast<u64>(t.log2_static_bound));
+      fold(std::bit_cast<u64>(t.log2_final));
+    }
   }
   return h;
 }
@@ -218,6 +279,10 @@ std::string CampaignReport::to_json() const {
       .field("unprotected_successes", unprotected_successes)
       .field("protected_trials", protected_trials)
       .field("protected_resisted", protected_resisted)
+      .field("crack_trials", crack_trials)
+      .field("crack_unique_verdicts", crack_unique_verdicts)
+      .field("crack_ambiguous_verdicts", crack_ambiguous_verdicts)
+      .field("total_adaptive_probes", total_adaptive_probes)
       .field("all_expected", all_expected())
       .field("total_oracle_runs", total_oracle_runs)
       .field("total_cache_hits", total_cache_hits)

@@ -51,6 +51,19 @@ struct CampaignOptions {
   /// Every k-th trial (i % k == k - 1) builds the Section VII protected
   /// variant, whose expected outcome is that the attack *fails*.  0 = never.
   size_t protected_every = 0;
+  /// What each trial runs.  "attack" = the Section VI key-recovery pipeline.
+  /// "crack" = the oracle-guided countermeasure cracker (DESIGN.md §4l):
+  /// every trial builds a *protected* victim and disambiguates its decoy
+  /// hypothesis set adaptively; success means a verdict, and the trial is
+  /// `expected` when the verdict matches the variant (unique identification
+  /// on the plain countermeasure, a proof of ambiguity on the
+  /// response-equalized one).  Unknown kinds are rejected at job validation
+  /// (the service answers 400).
+  std::string kind = "attack";
+  /// Crack campaigns only: build the response-equalized countermeasure
+  /// (three XOR-recombined copies per target bit) instead of the plain
+  /// Section VII decoy population.  Ignored for kind == "attack".
+  bool equalized = false;
   /// Keystream words per probe (the paper's w).
   size_t words = 16;
   /// Per-trial probe cache (identical patched bitstreams skip the simulated
@@ -132,6 +145,17 @@ struct TrialOutcome {
   size_t migration_runs = 0;
   size_t corruption_detections = 0;
   size_t transient_rejections = 0;
+  /// Crack-kind trials only (kind == "crack"); all-zero for attack trials.
+  /// adaptive_probes is the physical configuration count the cracker needed
+  /// to reach its verdict — the number the static C(n - 32, 32) bound
+  /// (log2_static_bound) claims must be ~2^115.
+  bool crack = false;
+  bool crack_unique = false;
+  bool crack_proven_ambiguous = false;
+  size_t crack_candidates = 0;
+  size_t adaptive_probes = 0;
+  double log2_static_bound = 0;
+  double log2_final = 0;
   double wall_seconds = 0;  // informational only — excluded from fingerprint()
 };
 
@@ -151,6 +175,11 @@ struct CampaignReport {
   size_t total_vote_runs = 0;
   size_t total_migration_runs = 0;
   size_t total_corruption_detections = 0;
+  /// Crack-kind aggregates (zero for attack campaigns).
+  size_t crack_trials = 0;
+  size_t crack_unique_verdicts = 0;
+  size_t crack_ambiguous_verdicts = 0;
+  size_t total_adaptive_probes = 0;
   /// Trials answered from the resume checkpoint instead of being re-run.
   size_t resumed_trials = 0;
   /// Trials skipped because the run was cancelled (Orchestrator::Hooks).

@@ -18,7 +18,11 @@ namespace {
 // DESIGN.md §4k) joins the signature for the same reason; trial records
 // carry migration_runs.  deadline_seconds stays out, like threads: it
 // decides when a run stops, never what it computes.
-constexpr u64 kCheckpointVersion = 3;
+// v4: the job kind ("attack" | "crack") and the crack-campaign `equalized`
+// flag join the signature — an attack checkpoint must never seed a crack
+// campaign of the same seed; crack trial records carry the verdict and the
+// adaptive-probe accounting.
+constexpr u64 kCheckpointVersion = 4;
 
 }  // namespace
 
@@ -28,6 +32,9 @@ u64 options_signature(const CampaignOptions& options) {
   fold(options.trials);
   fold(options.seed);
   fold(options.protected_every);
+  fold(options.kind.size());
+  for (const char c : options.kind) fold(static_cast<u64>(static_cast<unsigned char>(c)));
+  fold(options.equalized ? 1 : 2);
   fold(options.words);
   fold(options.use_probe_cache ? 1 : 2);
   fold(std::bit_cast<u64>(options.noise.transient_reject));
@@ -65,6 +72,17 @@ void write_trial(JsonWriter& w, const TrialOutcome& t) {
       .field("corruption_detections", t.corruption_detections)
       .field("transient_rejections", t.transient_rejections)
       .field("wall_seconds", t.wall_seconds);
+  if (t.crack) {
+    // "adaptive_probes_to_unique" is the headline crack metric: physical
+    // configurations to the verdict, vs the static log2 bound next to it.
+    w.field("crack", true)
+        .field("crack_unique", t.crack_unique)
+        .field("crack_proven_ambiguous", t.crack_proven_ambiguous)
+        .field("crack_candidates", t.crack_candidates)
+        .field("adaptive_probes_to_unique", t.adaptive_probes)
+        .field("log2_static_bound", t.log2_static_bound)
+        .field("log2_hypotheses_final", t.log2_final);
+  }
   w.key("phase_runs").begin_object();
   for (const auto& [phase, runs] : t.phase_runs) w.field(phase, runs);
   w.end_object();
@@ -105,6 +123,13 @@ std::optional<TrialOutcome> trial_from_json(const JsonValue& v) {
   get_size("migration_runs", t.migration_runs);
   get_size("corruption_detections", t.corruption_detections);
   get_size("transient_rejections", t.transient_rejections);
+  get_bool("crack", t.crack);
+  get_bool("crack_unique", t.crack_unique);
+  get_bool("crack_proven_ambiguous", t.crack_proven_ambiguous);
+  get_size("crack_candidates", t.crack_candidates);
+  get_size("adaptive_probes_to_unique", t.adaptive_probes);
+  if (const JsonValue* f = v.find("log2_static_bound")) t.log2_static_bound = f->as_double();
+  if (const JsonValue* f = v.find("log2_hypotheses_final")) t.log2_final = f->as_double();
   if (const JsonValue* f = v.find("wall_seconds")) t.wall_seconds = f->as_double();
   for (const auto& [name, runs] : phase_runs->members) {
     t.phase_runs.emplace_back(name, static_cast<size_t>(runs.as_u64()));
@@ -118,6 +143,8 @@ void write_options(JsonWriter& w, const CampaignOptions& options) {
       .field("threads", u64{options.threads})
       .field("seed", options.seed)
       .field("protected_every", options.protected_every)
+      .field("kind", options.kind)
+      .field("equalized", options.equalized)
       .field("words", options.words)
       .field("use_probe_cache", options.use_probe_cache)
       .field("scan_parallel", options.scan_parallel)
@@ -154,6 +181,12 @@ std::optional<CampaignOptions> options_from_json(const JsonValue& v) {
   if (const JsonValue* f = v.find("threads")) o.threads = static_cast<unsigned>(f->as_u64());
   if (const JsonValue* f = v.find("seed")) o.seed = f->as_u64();
   get_size("protected_every", o.protected_every);
+  if (const JsonValue* f = v.find("kind")) {
+    o.kind = f->as_string();
+    // Unknown job kinds are malformed specs: the service answers 400.
+    if (o.kind != "attack" && o.kind != "crack") return std::nullopt;
+  }
+  if (const JsonValue* f = v.find("equalized")) o.equalized = f->as_bool();
   get_size("words", o.words);
   if (const JsonValue* f = v.find("use_probe_cache")) o.use_probe_cache = f->as_bool(true);
   if (const JsonValue* f = v.find("scan_parallel")) o.scan_parallel = f->as_bool(true);

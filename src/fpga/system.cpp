@@ -1,5 +1,6 @@
 #include "fpga/system.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,8 +9,10 @@ namespace sbm::fpga {
 System build_system(const SystemOptions& options) {
   System sys;
   sys.options = options;
-  sys.design = options.protected_variant ? netlist::build_protected_snow3g_design()
-                                         : netlist::build_snow3g_design();
+  sys.options.protected_variant = options.protected_variant || options.equalized;
+  sys.design = options.equalized          ? netlist::build_equalized_snow3g_design()
+               : options.protected_variant ? netlist::build_protected_snow3g_design()
+                                           : netlist::build_snow3g_design();
   sys.mapped = mapper::map_network(sys.design.net, options.mapper);
   sys.placed = mapper::pack_and_place(sys.mapped, options.packing);
   sys.golden = bitstream::assemble(sys.placed, options.key);
@@ -68,6 +71,30 @@ std::vector<System::TruthLut> System::target_luts() const {
     }
   }
   return out;
+}
+
+std::vector<std::vector<size_t>> System::crack_truth() const {
+  std::unordered_map<netlist::NodeId, unsigned> source_bit;
+  for (unsigned i = 0; i < 32; ++i) {
+    if (design.equalized) {
+      for (const netlist::NodeId c : design.target_copies[i]) source_bit.emplace(c, i);
+    } else {
+      source_bit.emplace(design.target_v[i], i);
+    }
+  }
+  std::unordered_map<size_t, size_t> site_of;  // lut index -> phys site
+  for (size_t s = 0; s < placed.phys.size(); ++s) {
+    if (placed.phys[s].o6_lut >= 0) site_of[static_cast<size_t>(placed.phys[s].o6_lut)] = s;
+    if (placed.phys[s].o5_lut >= 0) site_of[static_cast<size_t>(placed.phys[s].o5_lut)] = s;
+  }
+  std::vector<std::vector<size_t>> truth(32);
+  for (size_t li = 0; li < placed.mapped.luts.size(); ++li) {
+    const auto it = source_bit.find(placed.mapped.luts[li].root);
+    if (it == source_bit.end()) continue;
+    truth[it->second].push_back(golden.layout.site_byte_index(site_of.at(li)));
+  }
+  for (auto& sites : truth) std::sort(sites.begin(), sites.end());
+  return truth;
 }
 
 }  // namespace sbm::fpga

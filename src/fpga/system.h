@@ -17,6 +17,10 @@ namespace sbm::fpga {
 
 struct SystemOptions {
   bool protected_variant = false;       // Section VII countermeasure
+  /// Response-equalized countermeasure: three kept copies of each target
+  /// XOR recombined through an unkept 3-input XOR, so every copy shares one
+  /// fault-response class.  Implies protected_variant.
+  bool equalized = false;
   snow3g::Key key = {0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48};
   mapper::MapperOptions mapper;
   mapper::PackingOptions packing;
@@ -51,6 +55,13 @@ struct System {
     size_t lut_index;   // into mapped.luts
   };
   std::vector<TruthLut> target_luts() const;
+
+  /// Ground truth for evaluating the cracker: for each target bit, the byte
+  /// indexes of the LUTs that *are* the bit's source — the single kept XOR2
+  /// implementing v[bit] in the plain protected variant, or the three kept
+  /// copies in the equalized variant.  Only sensible on protected systems
+  /// (the cracker's candidate model assumes trivially-cut XOR2 sites).
+  std::vector<std::vector<size_t>> crack_truth() const;
 };
 
 System build_system(const SystemOptions& options = {});

@@ -66,7 +66,7 @@ std::vector<NodeId> alpha_div_terms(const Word& s11, unsigned i) {
   return terms;
 }
 
-Snow3gDesign build(bool protect) {
+Snow3gDesign build(bool protect, bool equalize = false) {
   Snow3gDesign d;
   Network& net = d.net;
 
@@ -118,9 +118,29 @@ Snow3gDesign build(bool protect) {
   // FSM output word W = (s15 boxplus R1) xor R2 — the paper's node v.
   const Word add2 = net.add32(s[15], r1);
   Word v{};
-  for (unsigned i = 0; i < 32; ++i) {
-    v[i] = net.add_gate(NodeKind::kXor, add2[i], r2[i]);
-    d.target_v[i] = v[i];
+  if (!equalize) {
+    for (unsigned i = 0; i < 32; ++i) {
+      v[i] = net.add_gate(NodeKind::kXor, add2[i], r2[i]);
+      d.target_v[i] = v[i];
+    }
+  } else {
+    // Response-equalized target: three structurally distinct copies of the
+    // same XOR2, recombined by an unkept XOR pair.  The mapper absorbs the
+    // unkept intermediate into a 3-input XOR LUT for v (invisible to the
+    // XOR2 half-table scan), while each kept copy lands in its own trivial
+    // XOR2 cut.  c1 ^ c2 cancels, so v[i] == c3 functionally — but zeroing
+    // any one copy leaves the XOR of the other two equal to 0 and therefore
+    // zeroes v[i]: all three copies share one fault-response class.
+    for (unsigned i = 0; i < 32; ++i) {
+      std::array<NodeId, 3> copies{};
+      for (int c = 0; c < 3; ++c) {
+        copies[static_cast<size_t>(c)] = net.add_gate(NodeKind::kXor, add2[i], r2[i]);
+      }
+      const NodeId t = net.add_gate(NodeKind::kXor, copies[0], copies[1]);
+      v[i] = net.add_gate(NodeKind::kXor, t, copies[2]);
+      d.target_v[i] = v[i];
+      d.target_copies[i] = copies;
+    }
   }
   const Word v_gated = net.and_scalar(v, d.init);
 
@@ -188,11 +208,19 @@ Snow3gDesign build(bool protect) {
 
   if (protect) {
     d.protected_variant = true;
+    d.equalized = equalize;
     // Target nodes v and five decoy 32-bit XOR vectors with the same
     // function (2-input XOR) are forced into trivial cuts (Section VII-A:
-    // m = 32, r = 5 * 32 so x = 5 > 16/e - 1).
+    // m = 32, r = 5 * 32 so x = 5 > 16/e - 1).  In the equalized variant
+    // the three copies are kept instead of v itself: v must stay unkept so
+    // its LUT covers all three copies as a 3-input XOR rather than a
+    // scannable XOR2.
     for (unsigned i = 0; i < 32; ++i) {
-      net.set_keep(d.target_v[i]);
+      if (equalize) {
+        for (const NodeId c : d.target_copies[i]) net.set_keep(c);
+      } else {
+        net.set_keep(d.target_v[i]);
+      }
       net.set_keep(d.zpath_xor[i]);
       net.set_keep(d.feedback_inject[i]);
       net.set_keep(fb_partial[i]);
@@ -213,5 +241,7 @@ Snow3gDesign build(bool protect) {
 Snow3gDesign build_snow3g_design() { return build(false); }
 
 Snow3gDesign build_protected_snow3g_design() { return build(true); }
+
+Snow3gDesign build_equalized_snow3g_design() { return build(true, true); }
 
 }  // namespace sbm::netlist

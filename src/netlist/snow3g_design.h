@@ -43,7 +43,11 @@ struct Snow3gDesign {
   std::vector<NodeId> decoy_xors;           // protected variant: 5 x 32 XORs
   std::array<NodeId, 32> zpath_xor{};       // z[i] = s0[i] xor v[i] gates
   std::array<NodeId, 32> feedback_inject{}; // s15.D path XOR consuming v
+  // Equalized variant: the three kept XOR2 copies c1..c3 per bit whose XOR
+  // reconstitutes v[i]; empty otherwise.
+  std::array<std::array<NodeId, 3>, 32> target_copies{};
   bool protected_variant = false;
+  bool equalized = false;
 };
 
 /// Builds the unprotected design (Section VI).
@@ -52,5 +56,13 @@ Snow3gDesign build_snow3g_design();
 /// Builds the protected design (Section VII): target + decoy XORs are marked
 /// keep so the mapper covers them with trivial cuts.
 Snow3gDesign build_protected_snow3g_design();
+
+/// Builds the response-equalized protected design: instead of one kept
+/// target XOR per bit, three kept copies c1..c3 = add2[i] xor R2[i] feed an
+/// unkept 3-input XOR that reconstitutes v[i].  Zeroing any one copy zeroes
+/// v[i] (c_j ^ c_k = 0 for the surviving pair), so every copy produces the
+/// *same* source-cut keystream response — an adaptive oracle cannot tell
+/// which placement is "the" target, only identify the 3-element class.
+Snow3gDesign build_equalized_snow3g_design();
 
 }  // namespace sbm::netlist

@@ -475,31 +475,34 @@ void CampaignService::finalize(Job& job, JobState state, const campaign::Campaig
                                const std::string& failure) {
   JsonWriter metrics;
   report.write_metrics(metrics);
+  // The stats ledger is bumped *before* the terminal state becomes visible
+  // through status(): a client that polls to a terminal state and then reads
+  // stats must find the corresponding counter already incremented.
   {
-    const std::lock_guard<std::mutex> lock(job.mu);
-    job.record.state = state;
-    job.record.failure = failure;
-    job.record.trials_done = report.trials.size();
-    job.record.fingerprint = report.fingerprint();
-    job.record.all_expected = report.all_expected();
-    job.record.resumed_trials = report.resumed_trials;
-    job.record.cancelled_trials = report.cancelled_trials;
-    job.record.report_json = report.to_json();
-    job.final_metrics_json = metrics.str();
-    store_.save(job.record);
-    store_.remove_checkpoint(job.record.id);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (state == JobState::kDone) {
+      ++stats_.completed;
+      ServiceMetrics::get().completed.add();
+    } else if (state == JobState::kDeadline) {
+      ++stats_.deadline;
+      ServiceMetrics::get().deadline.add();
+    } else {
+      ++stats_.cancelled;
+      ServiceMetrics::get().cancelled.add();
+    }
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (state == JobState::kDone) {
-    ++stats_.completed;
-    ServiceMetrics::get().completed.add();
-  } else if (state == JobState::kDeadline) {
-    ++stats_.deadline;
-    ServiceMetrics::get().deadline.add();
-  } else {
-    ++stats_.cancelled;
-    ServiceMetrics::get().cancelled.add();
-  }
+  const std::lock_guard<std::mutex> lock(job.mu);
+  job.record.state = state;
+  job.record.failure = failure;
+  job.record.trials_done = report.trials.size();
+  job.record.fingerprint = report.fingerprint();
+  job.record.all_expected = report.all_expected();
+  job.record.resumed_trials = report.resumed_trials;
+  job.record.cancelled_trials = report.cancelled_trials;
+  job.record.report_json = report.to_json();
+  job.final_metrics_json = metrics.str();
+  store_.save(job.record);
+  store_.remove_checkpoint(job.record.id);
 }
 
 void CampaignService::drain() {

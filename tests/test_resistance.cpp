@@ -1,6 +1,10 @@
 // Defender-side resistance evaluation tests.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
+#include "attack/countermeasure.h"
 #include "attack/resistance.h"
 #include "fpga/system.h"
 
@@ -28,6 +32,36 @@ TEST(Resistance, ProtectedSystemIsNot) {
   // Hiding 32 targets among the XOR2 halves must cost > 2^80.
   EXPECT_GE(r.xor2_half_candidates, 192u);
   EXPECT_GT(r.log2_exhaustive_search, 80.0);
+}
+
+// Regression: the half-table candidate count must tally physical placement
+// sites, not raw (position, permutation) matches.  One placed XOR2 matches
+// under several of the 5! input permutations and a vacuous single-output
+// table matches as both halves, so the raw scan counts decoy placements
+// with replacement — inflating the reported C(n, 32) bound with candidates
+// an attacker could never select twice.
+TEST(Resistance, Xor2CandidatesCountUniquePlacementSites) {
+  fpga::SystemOptions opt;
+  opt.protected_variant = true;
+  const fpga::System sys = fpga::build_system(opt);
+  const ResistanceReport r = evaluate_resistance(sys.golden.bytes);
+
+  const auto raw = find_xor2_halves(sys.golden.bytes);
+  const auto sites = unique_xor2_half_sites(sys.golden.bytes);
+  EXPECT_EQ(r.xor2_half_candidates, sites.size());
+  // Deduping must strictly shrink the raw match list (the inflation is real)
+  // while keeping the corrected bound comfortably above the 2^80 target.
+  EXPECT_LT(sites.size(), raw.size());
+  EXPECT_GE(sites.size(), 192u);
+  // No two entries may share a physical (site, half).
+  std::set<std::pair<size_t, bool>> seen;
+  for (const HalfMatch& h : sites) {
+    EXPECT_TRUE(seen.insert({h.byte_index, h.o5_half}).second)
+        << "duplicate site at byte " << h.byte_index;
+  }
+  // The corrected bound matches C(sites - 32, 32) exactly.
+  EXPECT_NEAR(r.log2_exhaustive_search,
+              log2_binomial(static_cast<unsigned>(sites.size()) - 32, 32), 1e-9);
 }
 
 TEST(Resistance, HistogramCountsAddUp) {
